@@ -1,0 +1,39 @@
+// Ablation (§3.5): ASR block-size sweep — "a larger block size increases
+// errors, but reduces the pre-computation time". google-benchmark sweep of
+// the ASR kernel over block edges, with the precompute fraction reported.
+#include <benchmark/benchmark.h>
+
+#include "backprojection/breakdown.h"
+#include "backprojection/kernel.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace sarbp;
+
+const bench::BenchScenario& scenario() {
+  static const bench::BenchScenario s = bench::make_bench_scenario(256, 32);
+  return s;
+}
+
+void BM_AsrBlockSweep(benchmark::State& state) {
+  const auto& s = scenario();
+  const auto block = static_cast<Index>(state.range(0));
+  const Region all{0, 0, s.grid.width(), s.grid.height()};
+  bp::SoaTile tile(all.width, all.height);
+  for (auto _ : state) {
+    bp::backproject_asr_scalar(s.history, s.grid, all, 0,
+                               s.history.num_pulses(), block, block,
+                               geometry::LoopOrder::kXInner, tile);
+  }
+  const auto breakdown = bp::measure_asr_breakdown(
+      s.history, s.grid, all, 0, s.history.num_pulses(), block, block);
+  state.counters["precompute_frac"] =
+      breakdown.total_s > 0 ? breakdown.precompute_s / breakdown.total_s : 0;
+}
+BENCHMARK(BM_AsrBlockSweep)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

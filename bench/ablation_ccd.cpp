@@ -1,0 +1,56 @@
+// Ablation (paper §2): CCD complexity — the straightforward
+// Theta(Ncor^2 Ix Iy) window evaluation vs the incremental
+// Theta(Ncor Ix Iy) (organized here as amortized Theta(Ix Iy)) sliding
+// update. The speedup must grow with the window size.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "pipeline/ccd.h"
+
+int main(int argc, char** argv) {
+  using namespace sarbp;
+  using namespace sarbp::pipeline;
+  const bench::Args args(argc, argv);
+  const Index image = args.get("ix", 384);
+
+  bench::print_header("Ablation - CCD direct vs incremental");
+
+  // Two correlated speckle images.
+  Rng rng(3);
+  Grid2D<CFloat> current(image, image);
+  Grid2D<CFloat> reference(image, image);
+  for (Index i = 0; i < current.size(); ++i) {
+    const CFloat shared(static_cast<float>(rng.normal()),
+                        static_cast<float>(rng.normal()));
+    const CFloat noise(static_cast<float>(rng.normal() * 0.3),
+                       static_cast<float>(rng.normal() * 0.3));
+    current.flat()[static_cast<std::size_t>(i)] = shared + noise;
+    reference.flat()[static_cast<std::size_t>(i)] = shared;
+  }
+
+  std::printf("\nimage %lldx%lld\n", static_cast<long long>(image),
+              static_cast<long long>(image));
+  std::printf("%8s %14s %14s %10s\n", "window", "direct (s)",
+              "incremental(s)", "speedup");
+  bench::print_rule();
+  for (Index window : {5, 9, 15, 25}) {
+    CcdParams params;
+    params.window = window;
+    Timer t1;
+    const auto direct = ccd_direct(current, reference, params);
+    const double direct_s = t1.seconds();
+    Timer t2;
+    const auto fast = ccd(current, reference, params);
+    const double fast_s = t2.seconds();
+    // Consistency spot check.
+    const float delta = std::abs(direct.at(image / 2, image / 2) -
+                                 fast.at(image / 2, image / 2));
+    std::printf("%8lld %14.3f %14.3f %9.1fx%s\n",
+                static_cast<long long>(window), direct_s, fast_s,
+                direct_s / fast_s, delta > 1e-3f ? "  MISMATCH" : "");
+  }
+  std::printf("\n(paper Table 1 uses Ncor = 25: the incremental form is what "
+              "keeps CCD at 3 TFLOPS instead of ~75)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation (§5.2.2): vectorization speedup of the ASR kernel. Paper: 4.6x
+// on Xeon (8-wide AVX) and 10x on Xeon Phi (16-wide IMCI), sub-linear
+// mostly due to irregular pulse access. google-benchmark microbench.
+#include <benchmark/benchmark.h>
+
+#include "backprojection/kernel.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace sarbp;
+
+const bench::BenchScenario& scenario() {
+  static const bench::BenchScenario s = bench::make_bench_scenario(256, 32);
+  return s;
+}
+
+void set_counters(benchmark::State& state) {
+  const auto& s = scenario();
+  const double bp = static_cast<double>(s.grid.width()) *
+                    static_cast<double>(s.grid.height()) *
+                    static_cast<double>(s.history.num_pulses());
+  state.counters["backprojections/s"] =
+      benchmark::Counter(bp, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Baseline(benchmark::State& state) {
+  const auto& s = scenario();
+  const Region all{0, 0, s.grid.width(), s.grid.height()};
+  bp::SoaTile tile(all.width, all.height);
+  for (auto _ : state) {
+    bp::backproject_baseline(s.history, s.grid, all, 0,
+                             s.history.num_pulses(), false,
+                             geometry::LoopOrder::kXInner, tile);
+  }
+  set_counters(state);
+}
+BENCHMARK(BM_Baseline)->Unit(benchmark::kMillisecond);
+
+void BM_AsrScalar(benchmark::State& state) {
+  const auto& s = scenario();
+  const Region all{0, 0, s.grid.width(), s.grid.height()};
+  bp::SoaTile tile(all.width, all.height);
+  for (auto _ : state) {
+    bp::backproject_asr_scalar(s.history, s.grid, all, 0,
+                               s.history.num_pulses(), 64, 64,
+                               geometry::LoopOrder::kXInner, tile);
+  }
+  set_counters(state);
+}
+BENCHMARK(BM_AsrScalar)->Unit(benchmark::kMillisecond);
+
+void BM_AsrSimd(benchmark::State& state) {
+  if (!bp::asr_simd_available()) {
+    state.SkipWithError("no SIMD kernel compiled");
+    return;
+  }
+  const auto& s = scenario();
+  const Region all{0, 0, s.grid.width(), s.grid.height()};
+  bp::SoaTile tile(all.width, all.height);
+  for (auto _ : state) {
+    bp::backproject_asr_simd(s.history, s.grid, all, 0,
+                             s.history.num_pulses(), 64, 64,
+                             geometry::LoopOrder::kXInner, tile);
+  }
+  set_counters(state);
+}
+BENCHMARK(BM_AsrSimd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

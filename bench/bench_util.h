@@ -1,0 +1,106 @@
+// Shared helpers for the reproduction benches: command-line options,
+// table printing, and the standard calibrated scenario (DESIGN.md §5).
+//
+// Every bench accepts --ix/--iy/--pulses/--frames style overrides so the
+// paper-scale configurations can be run on bigger machines; the defaults
+// are scaled to finish in seconds on one core. Shapes (ratios, who-wins,
+// crossovers) are the reproduction target, not absolute wall-clock.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "backprojection/backprojector.h"
+#include "common/cpu.h"
+#include "common/rng.h"
+#include "geometry/grid.h"
+#include "geometry/trajectory.h"
+#include "sim/collector.h"
+#include "sim/scene.h"
+
+namespace sarbp::bench {
+
+/// Minimal --key value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) tokens_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] long get(const std::string& key, long fallback) const {
+    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (tokens_[i] == "--" + key) return std::atol(tokens_[i + 1].c_str());
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] double getf(const std::string& key, double fallback) const {
+    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (tokens_[i] == "--" + key) return std::atof(tokens_[i + 1].c_str());
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] bool has(const std::string& flag) const {
+    for (const auto& token : tokens_) {
+      if (token == "--" + flag) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+};
+
+/// The calibrated X-band scenario every bench draws from: 40 km standoff,
+/// 0.5 m pixels (matched to the 300 MHz chirp), dense random-fidelity pulse
+/// data unless a bench needs reflector structure.
+struct BenchScenario {
+  geometry::ImageGrid grid;
+  std::vector<geometry::PulsePose> poses;
+  sim::PhaseHistory history;
+};
+
+/// `oversample` multiplies the ADC rate: more range bins per metre, i.e.
+/// larger In arrays and wider gather spreads (the paper's 81K-sample pulses
+/// are far bigger than any cache level).
+inline BenchScenario make_bench_scenario(
+    Index image, Index pulses,
+    sim::CollectionFidelity fidelity = sim::CollectionFidelity::kRandom,
+    std::uint64_t seed = 20120615, double oversample = 1.0) {
+  Rng rng(seed);
+  geometry::ImageGrid grid(image, image, 0.5);
+  geometry::OrbitParams orbit;
+  orbit.radius_m = 40000.0;
+  orbit.altitude_m = 8000.0;
+  orbit.angular_rate_rad_s = 0.02;
+  orbit.prf_hz = 500.0;
+  geometry::TrajectoryErrorModel errors;
+  errors.perturbation_sigma_m = 0.05;
+  auto poses = geometry::circular_orbit(orbit, errors, pulses, rng);
+
+  sim::ClusterSceneParams scene_params;
+  scene_params.clusters = 4;
+  const auto scene = sim::make_cluster_scene(grid, scene_params, rng);
+  sim::CollectorParams collector;
+  collector.fidelity = fidelity;
+  collector.chirp.sample_rate_hz *= oversample;
+  auto history = sim::collect(collector, grid, scene, poses, rng);
+  return BenchScenario{grid, std::move(poses), std::move(history)};
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("host: %s\n", cpu_summary().c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace sarbp::bench

@@ -1,0 +1,113 @@
+// Extension experiment (paper §2's qualitative comparison, quantified):
+// polar formatting vs backprojection as trajectory deviations grow.
+//
+//   "PFA assumes an idealized trajectory for the radar platform. To an
+//    extent, compensation can be applied for deviations from these
+//    assumptions, but image quality degrades as the deviations increase.
+//    Backprojection ... can handle non-ideal collection trajectories."
+//
+// Sweeps the per-pulse trajectory perturbation and reports image contrast
+// (peak/mean) and entropy for: PFA with the idealized-orbit assumption,
+// PFA mapping the recorded trajectory, and ASR backprojection. Also prints
+// the speed side of the trade (PFA's FFT complexity is why anyone accepts
+// its assumptions at all).
+#include <cstdio>
+
+#include "backprojection/kernel.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "pfa/pfa.h"
+#include "quality/metrics.h"
+
+namespace {
+
+using namespace sarbp;
+
+struct Images {
+  Grid2D<CFloat> pfa_ideal;
+  Grid2D<CFloat> pfa_recorded;
+  Grid2D<CFloat> bp;
+  double pfa_seconds = 0.0;
+  double bp_seconds = 0.0;
+};
+
+Images form_all(const geometry::ImageGrid& grid,
+                const sim::PhaseHistory& history) {
+  Images out{Grid2D<CFloat>(grid.width(), grid.height()),
+             Grid2D<CFloat>(grid.width(), grid.height()),
+             Grid2D<CFloat>(grid.width(), grid.height())};
+  pfa::PfaParams ideal;
+  ideal.assume_ideal_trajectory = true;
+  Timer t_pfa;
+  out.pfa_ideal = pfa::PolarFormatter(grid, ideal).form_image(history);
+  out.pfa_seconds = t_pfa.seconds();
+  out.pfa_recorded = pfa::PolarFormatter(grid, {}).form_image(history);
+  const Region all{0, 0, grid.width(), grid.height()};
+  bp::SoaTile tile(all.width, all.height);
+  Timer t_bp;
+  bp::backproject_asr_simd(history, grid, all, 0, history.num_pulses(), 64,
+                           64, geometry::LoopOrder::kXInner, tile);
+  out.bp_seconds = t_bp.seconds();
+  tile.accumulate_into(out.bp, all);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const Index image = args.get("ix", 96);
+  const Index pulses = args.get("pulses", 192);
+
+  bench::print_header("Extension - PFA vs backprojection under trajectory error");
+
+  geometry::ImageGrid grid(image, image, 0.5);
+  std::printf("point-target scene, %lld pulses, %lldx%lld image\n",
+              static_cast<long long>(pulses), static_cast<long long>(image),
+              static_cast<long long>(image));
+  std::printf("\n%12s | %22s %22s %22s\n", "perturb (m)",
+              "PFA ideal-orbit", "PFA recorded-orbit", "backprojection");
+  std::printf("%12s | %11s %10s %11s %10s %11s %10s\n", "", "contrast",
+              "entropy", "contrast", "entropy", "contrast", "entropy");
+  bench::print_rule();
+
+  double pfa_time = 0.0;
+  double bp_time = 0.0;
+  for (const double sigma : {0.0, 0.01, 0.02, 0.05, 0.1}) {
+    geometry::OrbitParams orbit;
+    orbit.radius_m = 40000.0;
+    orbit.altitude_m = 8000.0;
+    orbit.angular_rate_rad_s = 0.066;
+    orbit.prf_hz = 400.0;
+    geometry::TrajectoryErrorModel errors;
+    errors.perturbation_sigma_m = sigma;
+    Rng rng(11);
+    const auto poses = geometry::circular_orbit(orbit, errors, pulses, rng);
+    sim::ReflectorScene scene;
+    sim::Reflector r;
+    r.position = grid.position(image / 2, image / 2);
+    scene.add(r);
+    const auto history = sim::collect({}, grid, scene, poses, rng);
+
+    const Images images = form_all(grid, history);
+    pfa_time = images.pfa_seconds;
+    bp_time = images.bp_seconds;
+    std::printf("%12.2f | %11.0f %10.2f %11.0f %10.2f %11.0f %10.2f\n",
+                sigma, quality::peak_to_mean(images.pfa_ideal),
+                quality::image_entropy(images.pfa_ideal),
+                quality::peak_to_mean(images.pfa_recorded),
+                quality::image_entropy(images.pfa_recorded),
+                quality::peak_to_mean(images.bp),
+                quality::image_entropy(images.bp));
+  }
+  std::printf("\nexpected shape: ideal-orbit PFA contrast collapses with "
+              "sigma; backprojection barely moves (it consumes the recorded "
+              "positions exactly).\n");
+  std::printf("\nthe price of robustness (this workload): PFA %.3f s vs "
+              "backprojection %.3f s (%.1fx); at the paper's high-end scale "
+              "the model ratio is %.0fx.\n",
+              pfa_time, bp_time, bp_time / pfa_time,
+              38.0 * 2809.0 * 57000.0 * 57000.0 /
+                  pfa::pfa_flops(2809, 81000, 57000));
+  return 0;
+}

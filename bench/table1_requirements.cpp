@@ -1,0 +1,66 @@
+// Reproduces paper Table 1: compute requirements of the high-end
+// persistent-surveillance scenario under the one-image-per-second
+// real-time constraint (after approximate strength reduction).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "perfmodel/flops.h"
+
+int main(int argc, char** argv) {
+  using namespace sarbp;
+  using namespace sarbp::perfmodel;
+  const bench::Args args(argc, argv);
+
+  HighEndScenario s;
+  s.image = args.get("image", s.image);
+  s.new_pulses = args.get("pulses", s.new_pulses);
+
+  bench::print_header(
+      "Table 1 - high-end input parameters and compute requirements");
+  std::printf("%-36s %12s\n", "parameter", "value");
+  bench::print_rule();
+  std::printf("%-36s %12lld\n", "New pulses per image (N)",
+              static_cast<long long>(s.new_pulses));
+  std::printf("%-36s %12lld\n", "Samples per pulse (S)",
+              static_cast<long long>(s.samples_per_pulse));
+  std::printf("%-36s %7lldx%lld\n", "Image size (Ix, Iy)",
+              static_cast<long long>(s.image), static_cast<long long>(s.image));
+  std::printf("%-36s %12d\n", "Accumulation factor (k)", s.accumulation_factor);
+  std::printf("%-36s %12lld\n", "Registration control points (Nc)",
+              static_cast<long long>(s.control_points));
+  std::printf("%-36s %12lld\n", "Registration neighborhood (Sc)",
+              static_cast<long long>(s.sc));
+  std::printf("%-36s %12lld\n", "CCD neighborhood (Ncor)",
+              static_cast<long long>(s.ncor));
+  std::printf("%-36s %12lld\n", "CFAR neighborhood (Ncfar)",
+              static_cast<long long>(s.ncfar));
+
+  const ComputeRequirements r = compute_requirements(s);
+  std::printf("\n%-24s %14s %14s\n", "compute requirement", "paper (TFLOPS)",
+              "model (TFLOPS)");
+  bench::print_rule();
+  std::printf("%-24s %14s %14.1f\n", "Total", "351", r.total_tflops());
+  std::printf("%-24s %14s %14.1f\n", "Backprojection", "347",
+              r.backprojection_tflops);
+  std::printf("%-24s %14s %14.2f\n", "2D-Correlation", "0.7",
+              r.correlation_tflops);
+  std::printf("%-24s %14s %14.2f\n", "Interpolation", "0.2",
+              r.interpolation_tflops);
+  std::printf("%-24s %14s %14.1f\n", "CCD", "3", r.ccd_tflops);
+  std::printf("\nbackprojection share of total FLOPs: %.2f%% (paper: >98%%)\n",
+              100.0 * r.backprojection_fraction());
+
+  const MemoryRequirements m = memory_requirements(s);
+  std::printf("\nfootnote 3 (incremental backprojection memory cost):\n");
+  bench::print_rule();
+  std::printf("%-44s %7s %7s\n", "", "paper", "model");
+  std::printf("%-44s %7s %6.0f\n", "direct organization (GB)", "100",
+              m.direct_gb);
+  std::printf("%-44s %7s %6.0f\n", "incremental (circular buffer) (GB)",
+              "948", m.incremental_gb);
+  std::printf("%-44s %7s %7d\n", "8 GB Xeon Phis to hold it", "119",
+              m.coprocessors_for_memory);
+  std::printf("%-44s %7s %7d\n", "Xeon Phis for 351 TFLOPS at 100% eff",
+              ">182", m.coprocessors_for_compute);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces paper Table 5: projection of the largest inputs that satisfy
+// the real-time constraint on 32-256 nodes, with per-stage time-breakdown
+// percentages (registration, CCD, PCIe, MPI, disk).
+//
+// The paper's own Table 5 is an analytic projection (§5.4); this bench
+// evaluates the same model: per-stage FLOPs / (peak x efficiency), 10% FFT
+// efficiency, 6 GB/s PCIe, 2 GB/s MPI, 200 MB/s disk.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "perfmodel/projection.h"
+
+int main(int argc, char** argv) {
+  using namespace sarbp;
+  const bench::Args args(argc, argv);
+
+  perfmodel::NodeModel model;
+  model.new_pulses = args.get("pulses", model.new_pulses);
+
+  bench::print_header("Table 5 - projection of largest real-time inputs");
+
+  struct PaperRow {
+    Index nodes;
+    const char* image;
+    int k;
+    const char* s;
+    double tbps;
+    double eff;
+    double reg, ccd, pcie, mpi, disk;  // time-breakdown %
+  };
+  const PaperRow paper[] = {
+      {32, "18K", 12, "26K", 1.060, 0.93, 0.11, 0.30, 1.63, 3.71, 10.38},
+      {64, "27K", 17, "38K", 2.115, 0.93, 0.18, 0.45, 1.52, 3.45, 7.19},
+      {128, "38K", 23, "54K", 4.213, 0.93, 0.39, 0.63, 1.45, 3.35, 5.05},
+      {256, "54K", 33, "77K", 8.373, 0.92, 0.76, 0.89, 1.40, 3.37, 3.52},
+  };
+
+  std::printf("\n%-6s | %-38s | %s\n", "", "paper", "model");
+  std::printf("%-6s | %5s %3s %5s %6s %4s | %5s %3s %5s %6s %4s\n", "nodes",
+              "img", "k", "S", "Tbp/s", "eff", "img", "k", "S", "Tbp/s",
+              "eff");
+  bench::print_rule();
+  std::vector<perfmodel::ScalingPoint> points;
+  for (const auto& row : paper) {
+    const Index image = perfmodel::largest_realtime_image(model, row.nodes);
+    const auto p = perfmodel::evaluate_point(model, row.nodes, image);
+    points.push_back(p);
+    std::printf(
+        "%-6lld | %5s %3d %5s %6.3f %4.2f | %4.0fK %3d %4.0fK %6.3f %4.2f\n",
+        static_cast<long long>(row.nodes), row.image, row.k, row.s, row.tbps,
+        row.eff, static_cast<double>(p.image) / 1000.0, p.accumulation,
+        static_cast<double>(p.samples) / 1000.0,
+        p.throughput_bp_per_s / 1e12, p.parallel_efficiency);
+  }
+
+  std::printf("\ntime breakdown (%% of the 1 s real-time budget):\n");
+  std::printf("%-6s | %-30s | %s\n", "", "paper (reg/ccd/pcie/mpi/disk)",
+              "model (reg/ccd/pcie/mpi/disk)");
+  bench::print_rule();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& row = paper[i];
+    const auto& p = points[i];
+    std::printf(
+        "%-6lld | %5.2f %5.2f %5.2f %5.2f %6.2f | %5.2f %5.2f %5.2f %5.2f %6.2f\n",
+        static_cast<long long>(row.nodes), row.reg, row.ccd, row.pcie,
+        row.mpi, row.disk, 100.0 * p.t_registration, 100.0 * p.t_ccd,
+        100.0 * p.t_pcie, 100.0 * p.t_mpi, 100.0 * p.t_disk);
+  }
+  std::printf("\nhigh-end scenario check: 256 nodes handle a %lldK image "
+              "(paper: ~the 57K scenario at ~256 nodes)\n",
+              static_cast<long long>(points.back().image / 1000));
+  return 0;
+}

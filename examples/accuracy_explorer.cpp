@@ -1,0 +1,88 @@
+// Accuracy explorer: interactive-grade sweep of the ASR accuracy knobs —
+// block size and imaging geometry — against the analytic error model.
+// Shows how to use the asr:: error-model API to *predict* whether a block
+// size meets an accuracy budget before running the kernel, and verifies
+// the prediction with a real backprojection against the double reference.
+//
+// Build & run:  ./build/examples/accuracy_explorer [--ix 192] [--pulses 48]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "asr/error_model.h"
+#include "backprojection/kernel.h"
+#include "common/rng.h"
+#include "common/snr.h"
+#include "geometry/grid.h"
+#include "geometry/trajectory.h"
+#include "sim/collector.h"
+#include "sim/scene.h"
+
+namespace {
+
+long arg(int argc, char** argv, const char* key, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) return std::atol(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sarbp;
+  const Index image = arg(argc, argv, "--ix", 192);
+  const Index pulses = arg(argc, argv, "--pulses", 48);
+
+  const geometry::ImageGrid grid(image, image, 0.5);
+  geometry::OrbitParams orbit;
+  orbit.radius_m = 40000.0;
+  orbit.altitude_m = 8000.0;
+  Rng rng(9);
+  const auto poses = geometry::circular_orbit(orbit, {}, pulses, rng);
+
+  // Dense random data: every pixel carries signal, so the image SNR tracks
+  // the mean phase error the model predicts.
+  sim::CollectorParams collector;
+  collector.fidelity = sim::CollectionFidelity::kRandom;
+  const sim::PhaseHistory history =
+      sim::collect(collector, grid, sim::ReflectorScene{}, poses, rng);
+
+  Grid2D<CDouble> reference(image, image);
+  const Region all{0, 0, image, image};
+  bp::backproject_ref(history, grid, all, 0, pulses, reference);
+
+  const geometry::Vec3 radar = poses.front().recorded_position;
+  std::printf("geometry: %.1f km slant range, %.2f m pixels, k = %.1f\n",
+              geometry::distance(radar, grid.centre()) / 1000.0,
+              grid.spacing(), history.wavenumber());
+  std::printf("\n%8s | %18s %18s | %14s\n", "block", "predicted SNR (dB)",
+              "measured SNR (dB)", "range err (m)");
+  std::printf("------------------------------------------------------------------\n");
+
+  for (Index block : {8, 16, 32, 64, 128}) {
+    if (block > image) continue;
+    const double predicted = asr::predicted_snr_db(
+        grid, radar, history.wavenumber(), block, block);
+    const asr::BlockErrorStats err = asr::measure_block_error(
+        grid.centre(), radar, grid.spacing(), grid.spacing(), block, block);
+
+    bp::SoaTile tile(image, image);
+    bp::backproject_asr_simd(history, grid, all, 0, pulses, block, block,
+                             geometry::LoopOrder::kXInner, tile);
+    Grid2D<CFloat> img(image, image);
+    tile.accumulate_into(img, all);
+    const double measured = snr_db(img, reference);
+
+    std::printf("%5lldx%-3lld| %18.1f %18.1f | %14.2e\n",
+                static_cast<long long>(block), static_cast<long long>(block),
+                predicted, measured, err.max_abs_m);
+  }
+  std::printf("\nthe prediction covers only the quadratic-approximation error "
+              "(worst block, worst pixel): measured SNR sits above it once "
+              "that error dominates, falling ~18 dB per block-size doubling "
+              "(third-order Taylor remainder). At small blocks the measured "
+              "SNR saturates at the single-precision arithmetic floor "
+              "(~95 dB), which the model deliberately excludes.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Distributed imaging: form one image across a simulated multi-node
+// cluster (the in-process MPI substitute). Demonstrates the cluster API:
+// pulse broadcast, image-dimension-first partitioning (paper §4.2), rank
+// backprojection, and tile gather — plus the communication accounting the
+// weak-scaling analysis builds on.
+//
+// Build & run:  ./build/examples/distributed_imaging [--ranks 4]
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "cluster/distributed.h"
+#include "cluster/torus_model.h"
+#include "common/rng.h"
+#include "common/snr.h"
+#include "geometry/trajectory.h"
+#include "sim/collector.h"
+#include "sim/scene.h"
+
+int main(int argc, char** argv) {
+  using namespace sarbp;
+  int ranks = 4;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--ranks") == 0) ranks = std::atoi(argv[i + 1]);
+  }
+
+  const Index image = 128;
+  const Index pulses = 64;
+  const geometry::ImageGrid grid(image, image, 0.5);
+
+  geometry::OrbitParams orbit;
+  orbit.radius_m = 40000.0;
+  orbit.altitude_m = 8000.0;
+  orbit.angular_rate_rad_s = 0.066;
+  Rng rng(17);
+  const auto poses = geometry::circular_orbit(orbit, {}, pulses, rng);
+
+  sim::ClusterSceneParams scene_params;
+  const auto scene = sim::make_cluster_scene(grid, scene_params, rng);
+  sim::CollectorParams collector;
+  const auto history = sim::collect(collector, grid, scene, poses, rng);
+
+  bp::BackprojectOptions options;
+  options.threads = 1;  // each rank is one worker; ranks are the parallelism
+  options.min_region_edge = 32;
+
+  std::printf("forming a %lldx%lld image from %lld pulses on %d simulated "
+              "ranks...\n",
+              static_cast<long long>(image), static_cast<long long>(image),
+              static_cast<long long>(pulses), ranks);
+
+  cluster::DistributedReport report;
+  const Grid2D<CFloat> distributed = cluster::distributed_backprojection(
+      ranks, history, grid, options, &report);
+
+  // Single-rank baseline for verification.
+  const Grid2D<CFloat> single =
+      cluster::distributed_backprojection(1, history, grid, options);
+  std::printf("multi-rank vs single-rank image parity: %.1f dB SNR\n",
+              snr_db(distributed, single));
+
+  std::printf("\ncommunication accounting:\n");
+  std::printf("  pulse broadcast : %.2f MB total\n",
+              report.broadcast_bytes / 1e6);
+  std::printf("  tile gather     : %.2f MB\n", report.gather_bytes / 1e6);
+  std::printf("  critical path   : %.3f s (slowest rank)\n",
+              report.max_rank_compute_s);
+
+  // What the interconnect model says this costs at scale.
+  const cluster::InterconnectModel net;
+  const auto volumes = cluster::communication_volumes(
+      ranks, image, pulses, history.samples_per_pulse(), 31, 25, 25);
+  std::printf("\n3D-torus model (2 GB/s channels), %d nodes:\n", ranks);
+  std::printf("  per-node pulse scatter : %.3f ms\n",
+              1e3 * net.mpi_seconds(volumes.pulse_scatter_bytes));
+  std::printf("  per-node boundary exch : %.3f ms\n",
+              1e3 * net.mpi_seconds(volumes.boundary_bytes));
+  std::printf("  average hop count      : %.2f\n",
+              net.average_hops(ranks));
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Persistent surveillance (the paper's motivating application, Fig. 2):
+// a streaming pipeline that forms one image per pulse batch, registers it
+// to a reference, runs coherent change detection, and reports CFAR
+// detections — while a target appears and later disappears in the scene.
+//
+// Demonstrates: SurveillancePipeline, repeat-pass collection geometry,
+// incremental accumulation, and the threaded stage structure with bounded
+// queues (compute overlapped with ingest).
+//
+// Build & run:  ./build/examples/persistent_surveillance
+#include <cstdio>
+
+#include "common/rng.h"
+#include "geometry/trajectory.h"
+#include "pipeline/pipeline.h"
+#include "sim/collector.h"
+#include "sim/scene.h"
+
+int main() {
+  using namespace sarbp;
+  using namespace sarbp::pipeline;
+
+  const Index image = 128;
+  const Index pulses_per_frame = 96;
+  const int frames = 5;
+
+  const geometry::ImageGrid grid(image, image, 0.5);
+
+  // Scene: dense coherent clutter + a vehicle-like target that parks at
+  // t = 1.5 s and leaves at t = 3.5 s (present in frames 2 and 3).
+  Rng rng(42);
+  sim::ReflectorScene scene = sim::make_clutter_field(grid, 4, 1.0, rng);
+  sim::Reflector target;
+  target.position = grid.position(88, 40);
+  target.amplitude = 8.0;
+  target.appear_s = 1.5;
+  target.disappear_s = 3.5;
+  scene.add(target);
+  std::printf("scene: %zu clutter reflectors + 1 transient target at pixel "
+              "(88, 40), present in frames 2-3\n",
+              scene.size() - 1);
+
+  // Repeat-pass orbit: each frame revisits the same aspect angles (one
+  // pass per second), which keeps the clutter coherent between frames.
+  geometry::OrbitParams orbit;
+  orbit.radius_m = 40000.0;
+  orbit.altitude_m = 8000.0;
+  orbit.angular_rate_rad_s = 0.066;
+  orbit.prf_hz = 400.0;
+  geometry::TrajectoryErrorModel errors;
+  errors.perturbation_sigma_m = 0.03;
+
+  PipelineConfig config;
+  config.accumulation_factor = 0;   // one batch per frame (repeat-pass CCD)
+  config.registration.patch = 31;
+  config.ccd.window = 9;
+  config.cfar.window = 17;
+  config.cfar.guard = 5;
+  config.cfar.candidate_correlation = 0.75;
+  config.cfar.scale = 2.5;
+  SurveillancePipeline pipeline(grid, config);
+
+  sim::CollectorParams collector;
+  for (int f = 0; f < frames; ++f) {
+    Rng pass_rng(100 + static_cast<std::uint64_t>(f));
+    auto poses =
+        geometry::circular_orbit(orbit, errors, pulses_per_frame, pass_rng);
+    for (auto& pose : poses) pose.time_s += f;  // pass f flies at t ~ f s
+    Rng col_rng(200 + static_cast<std::uint64_t>(f));
+    pipeline.push_pulses(sim::collect(collector, grid, scene, poses, col_rng));
+  }
+  pipeline.close_input();
+
+  std::printf("\n%-6s %-10s %-12s %-36s\n", "frame", "role", "detections",
+              "strongest detection");
+  std::printf("--------------------------------------------------------------\n");
+  while (auto frame = pipeline.pop_result()) {
+    if (frame->is_reference) {
+      std::printf("%-6lld %-10s %-12s %-36s\n",
+                  static_cast<long long>(frame->frame), "reference", "-", "-");
+      continue;
+    }
+    const Detection* best = nullptr;
+    for (const auto& d : frame->cfar.detections) {
+      if (best == nullptr || d.statistic > best->statistic) best = &d;
+    }
+    char detail[64] = "-";
+    if (best != nullptr) {
+      std::snprintf(detail, sizeof(detail),
+                    "pixel (%lld, %lld), stat %.1f, corr %.2f",
+                    static_cast<long long>(best->x),
+                    static_cast<long long>(best->y), best->statistic,
+                    best->correlation);
+    }
+    std::printf("%-6lld %-10s %-12zu %-36s\n",
+                static_cast<long long>(frame->frame), "surveil",
+                frame->cfar.detections.size(), detail);
+  }
+  std::printf("\nexpected: strong detections near (88, 40) in frames 2 and 3 "
+              "(target present vs target-free reference); frames 1 and 4 "
+              "match the reference and should stay near-quiet\n");
+  return 0;
+}

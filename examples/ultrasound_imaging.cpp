@@ -1,0 +1,77 @@
+// Ultrasound B-mode imaging with the ASR beamformer — the paper's §7
+// cross-domain application. Simulates a plane-wave acquisition of a cyst
+// phantom (speckle background + anechoic hole + bright point targets),
+// beamforms it with ASR delay-and-sum, and renders the log-compressed
+// envelope as ASCII art.
+//
+// Build & run:  ./build/examples/ultrasound_imaging
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <vector>
+
+#include "beamform/beamformer.h"
+#include "beamform/simulator.h"
+#include "common/rng.h"
+
+int main() {
+  using namespace sarbp;
+  using namespace sarbp::beamform;
+
+  Transducer transducer;
+  transducer.elements = 64;
+  ScanRegion region;
+  region.width = 160;
+  region.depth = 160;
+
+  // Cyst phantom: dense speckle, a 3 mm anechoic cyst, two wire targets.
+  Rng rng(33);
+  std::vector<Scatterer> phantom = random_phantom(region, 2500, rng);
+  const double cyst_x = region.pixel_x(100);
+  const double cyst_z = region.pixel_z(80);
+  std::erase_if(phantom, [&](const Scatterer& s) {
+    return std::hypot(s.x_m - cyst_x, s.z_m - cyst_z) < 3e-3;
+  });
+  for (auto [px, pz] : {std::pair{40, 40}, {40, 120}}) {
+    Scatterer wire;
+    wire.x_m = region.pixel_x(px);
+    wire.z_m = region.pixel_z(pz);
+    wire.amplitude = 25.0;
+    phantom.push_back(wire);
+  }
+
+  std::printf("simulating %zu scatterers into %d channels...\n",
+              phantom.size(), transducer.elements);
+  const auto data = simulate_channels(transducer, region, phantom, 0.02);
+
+  std::printf("beamforming %lldx%lld pixels with ASR delay-and-sum...\n",
+              static_cast<long long>(region.width),
+              static_cast<long long>(region.depth));
+  const auto image = beamform_asr(transducer, region, data);
+
+  // Log-compressed envelope over a 40 dB display range.
+  float peak = 0.0f;
+  for (const auto& v : image.flat()) peak = std::max(peak, std::abs(v));
+  const char* shades = " .:-=+*#%@";
+  std::printf("\nB-mode (x lateral, z down; bright wires at (40,40) and "
+              "(40,120); dark cyst at (100,80)):\n\n");
+  for (Index z = 0; z < region.depth; z += 4) {
+    for (Index x = 0; x < region.width; x += 2) {
+      float mag = 0.0f;
+      for (Index sz = 0; sz < 4; ++sz) {
+        for (Index sx = 0; sx < 2; ++sx) {
+          mag = std::max(mag, std::abs(image.at(x + sx, z + sz)));
+        }
+      }
+      const double db = 20.0 * std::log10(std::max(1e-6f, mag / peak));
+      const int level =
+          std::clamp(static_cast<int>((db + 40.0) / 40.0 * 9.99), 0, 9);
+      std::putchar(shades[level]);
+    }
+    std::putchar('\n');
+  }
+  std::printf("\n(the cyst shows as a dark hole in the speckle; the wires as "
+              "bright points — the classic image-quality phantom)\n");
+  return 0;
+}

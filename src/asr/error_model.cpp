@@ -1,0 +1,57 @@
+#include "asr/error_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace sarbp::asr {
+
+BlockErrorStats measure_block_error(const geometry::Vec3& centre,
+                                    const geometry::Vec3& radar, double dx,
+                                    double dy, Index width, Index height) {
+  const Quadratic2D q = range_quadratic(centre, radar, dx, dy);
+  const double l0 = -0.5 * static_cast<double>(width - 1);
+  const double m0 = -0.5 * static_cast<double>(height - 1);
+  BlockErrorStats stats;
+  double sum_sq = 0.0;
+  for (Index m = 0; m < height; ++m) {
+    for (Index l = 0; l < width; ++l) {
+      const double lc = static_cast<double>(l) + l0;
+      const double mc = static_cast<double>(m) + m0;
+      const double err =
+          q.eval(lc, mc) - exact_range(centre, radar, dx, dy, lc, mc);
+      stats.max_abs_m = std::max(stats.max_abs_m, std::abs(err));
+      sum_sq += err * err;
+    }
+  }
+  stats.rms_m = std::sqrt(sum_sq / static_cast<double>(width * height));
+  return stats;
+}
+
+double phase_error_snr_db(double sigma_range_m, double wavenumber) {
+  const double sigma_phase =
+      2.0 * std::numbers::pi * wavenumber * sigma_range_m;
+  if (sigma_phase <= 0.0) return std::numeric_limits<double>::infinity();
+  return -20.0 * std::log10(sigma_phase);
+}
+
+double predicted_snr_db(const geometry::ImageGrid& grid,
+                        const geometry::Vec3& radar, double wavenumber,
+                        Index block_w, Index block_h) {
+  // The remainder is largest where the look direction is most oblique to
+  // the block — scan the grid corners and centre for the worst bound.
+  double worst = 0.0;
+  const Index xs[] = {0, grid.width() - 1, 0, grid.width() - 1, grid.width() / 2};
+  const Index ys[] = {0, 0, grid.height() - 1, grid.height() - 1, grid.height() / 2};
+  for (int c = 0; c < 5; ++c) {
+    const geometry::Vec3 centre = grid.position(xs[c], ys[c]);
+    worst = std::max(
+        worst, taylor_remainder_bound(centre, radar, grid.spacing(),
+                                      grid.spacing(),
+                                      0.5 * static_cast<double>(block_w),
+                                      0.5 * static_cast<double>(block_h)));
+  }
+  return phase_error_snr_db(worst, wavenumber);
+}
+
+}  // namespace sarbp::asr

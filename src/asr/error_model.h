@@ -1,0 +1,38 @@
+// Accuracy model for ASR: predicts (and measures) the image SNR as a
+// function of block size — the machinery behind Fig. 8's
+// accuracy-performance trade-off.
+#pragma once
+
+#include "asr/quadratic.h"
+#include "common/types.h"
+#include "geometry/grid.h"
+#include "geometry/vec3.h"
+
+namespace sarbp::asr {
+
+struct BlockErrorStats {
+  double max_abs_m = 0.0;  ///< worst |q - r| over the block, metres
+  double rms_m = 0.0;      ///< RMS |q - r| over the block, metres
+};
+
+/// Measures the quadratic-vs-exact range error over a width x height block
+/// centred at `centre` (dense evaluation).
+BlockErrorStats measure_block_error(const geometry::Vec3& centre,
+                                    const geometry::Vec3& radar, double dx,
+                                    double dy, Index width, Index height);
+
+/// Predicted SNR (dB) when the dominant error is the carrier phase error
+/// from a range error of RMS sigma_r: the residual signal power fraction is
+/// ~(2*pi*k*sigma_r)^2 for small phase errors, so
+///   SNR ~= -20 log10(2*pi*k*sigma_r).
+double phase_error_snr_db(double sigma_range_m, double wavenumber);
+
+/// End-to-end prediction for an imaging geometry: bounds the Taylor
+/// remainder for the *worst* block of the grid (nearest the radar's ground
+/// track, where curvature is largest) and converts to SNR. Conservative:
+/// measured SNR should exceed this.
+double predicted_snr_db(const geometry::ImageGrid& grid,
+                        const geometry::Vec3& radar, double wavenumber,
+                        Index block_w, Index block_h);
+
+}  // namespace sarbp::asr

@@ -1,0 +1,151 @@
+#include "asr/tables.h"
+
+#include <cmath>
+#include <complex>
+
+#include "common/check.h"
+#include "signal/trig.h"
+
+namespace sarbp::asr {
+namespace {
+
+/// Unit complex number for a (large) phase, reduced in double.
+std::complex<double> unit_phase(double phase) {
+  const double reduced = signal::reduce_to_pi(phase);
+  return {std::cos(reduced), std::sin(reduced)};
+}
+
+/// Fills re/im arrays with exp(i*(c0 + c1*j + c2*j^2)), j = 0..n-1, via the
+/// two-level recurrence U *= V; V *= W with W = exp(2i*c2). Three exact
+/// exponentials total; |U| is renormalized every 64 steps to pin the
+/// magnitude drift far below float resolution.
+void quadratic_phase_table(double c0, double c1, double c2, Index n,
+                           float* out_re, float* out_im) {
+  std::complex<double> u = unit_phase(c0);
+  std::complex<double> v = unit_phase(c1 + c2);  // phase(1) - phase(0)
+  const std::complex<double> w = unit_phase(2.0 * c2);
+  for (Index j = 0; j < n; ++j) {
+    out_re[j] = static_cast<float>(u.real());
+    out_im[j] = static_cast<float>(u.imag());
+    u *= v;
+    v *= w;
+    if ((j & 63) == 63) {
+      u /= std::abs(u);
+      v /= std::abs(v);
+    }
+  }
+}
+
+}  // namespace
+
+void BlockTables::resize(Index w, Index h) {
+  ensure(w > 0 && h > 0, "BlockTables: block must be non-empty");
+  width = w;
+  height = h;
+  const auto lw = static_cast<std::size_t>(w);
+  const auto lh = static_cast<std::size_t>(h);
+  bin_a.resize(lw);
+  bin_b.resize(lh);
+  bin_c.resize(lh);
+  phi_re.resize(lw);
+  phi_im.resize(lw);
+  psi_re.resize(lh);
+  psi_im.resize(lh);
+  gam_re.resize(lh);
+  gam_im.resize(lh);
+}
+
+void build_block_tables(const Quadratic2D& q, double start_range,
+                        double bin_spacing, double two_pi_k, Index width,
+                        Index height, BlockTables& tables) {
+  tables.resize(width, height);
+  const double inv_dr = 1.0 / bin_spacing;
+  // Centred offset of index 0 along each axis (expansion is about the
+  // block centre; paper footnote 4).
+  const double l0 = -0.5 * static_cast<double>(width - 1);
+  const double m0 = -0.5 * static_cast<double>(height - 1);
+
+  for (Index l = 0; l < width; ++l) {
+    const double lc = static_cast<double>(l) + l0;
+    const double range_l = q.f0 + q.ax * lc + q.bx * lc * lc;
+    tables.bin_a[static_cast<std::size_t>(l)] =
+        static_cast<float>((range_l - start_range) * inv_dr);
+    // Phi[l] carries the enormous constant phase 2*pi*k*f0; reduce in
+    // double *before* the trig evaluation — this is the step the baseline
+    // pays for on every pixel and ASR pays for only once per block column.
+    const double phase = signal::reduce_to_pi(two_pi_k * range_l);
+    tables.phi_re[static_cast<std::size_t>(l)] = static_cast<float>(std::cos(phase));
+    tables.phi_im[static_cast<std::size_t>(l)] = static_cast<float>(std::sin(phase));
+  }
+
+  for (Index m = 0; m < height; ++m) {
+    const double mc = static_cast<double>(m) + m0;
+    const double cross = q.cxy * mc;  // d(bin)/dl contribution per unit l
+    tables.bin_c[static_cast<std::size_t>(m)] = static_cast<float>(cross * inv_dr);
+    // B absorbs the l-offset part of the cross term: l_c = l + l0.
+    const double range_m = q.ay * mc + q.by * mc * mc + cross * l0;
+    tables.bin_b[static_cast<std::size_t>(m)] = static_cast<float>(range_m * inv_dr);
+    const double psi_phase = signal::reduce_to_pi(two_pi_k * range_m);
+    tables.psi_re[static_cast<std::size_t>(m)] = static_cast<float>(std::cos(psi_phase));
+    tables.psi_im[static_cast<std::size_t>(m)] = static_cast<float>(std::sin(psi_phase));
+    const double gam_phase = signal::reduce_to_pi(two_pi_k * cross);
+    tables.gam_re[static_cast<std::size_t>(m)] = static_cast<float>(std::cos(gam_phase));
+    tables.gam_im[static_cast<std::size_t>(m)] = static_cast<float>(std::sin(gam_phase));
+  }
+}
+
+void build_block_tables_fast(const Quadratic2D& q, double start_range,
+                             double bin_spacing, double two_pi_k, Index width,
+                             Index height, BlockTables& tables) {
+  tables.resize(width, height);
+  const double inv_dr = 1.0 / bin_spacing;
+  const double l0 = -0.5 * static_cast<double>(width - 1);
+  const double m0 = -0.5 * static_cast<double>(height - 1);
+
+  // --- l axis: range_l(j) = f0 + ax*(j+l0) + bx*(j+l0)^2, j = 0..width-1.
+  const double l_const = q.f0 + q.ax * l0 + q.bx * l0 * l0;
+  const double l_lin = q.ax + 2.0 * q.bx * l0;
+  {
+    // bin_a: second-order additive recurrence (the §3.2 pre-computation).
+    double value = (l_const - start_range) * inv_dr;
+    double delta = (l_lin + q.bx) * inv_dr;  // value(1) - value(0)
+    const double delta2 = 2.0 * q.bx * inv_dr;
+    for (Index l = 0; l < width; ++l) {
+      tables.bin_a[static_cast<std::size_t>(l)] = static_cast<float>(value);
+      value += delta;
+      delta += delta2;
+    }
+    quadratic_phase_table(two_pi_k * l_const, two_pi_k * l_lin,
+                          two_pi_k * q.bx, width, tables.phi_re.data(),
+                          tables.phi_im.data());
+  }
+
+  // --- m axis: range_m(j) = a'*(j+m0) + by*(j+m0)^2 with the cross term's
+  // l-offset folded in (a' = ay + cxy*l0), plus the linear Gamma phase.
+  const double a_eff = q.ay + q.cxy * l0;
+  const double m_const = a_eff * m0 + q.by * m0 * m0;
+  const double m_lin = a_eff + 2.0 * q.by * m0;
+  {
+    double value = m_const * inv_dr;
+    double delta = (m_lin + q.by) * inv_dr;
+    const double delta2 = 2.0 * q.by * inv_dr;
+    double cross = q.cxy * m0 * inv_dr;
+    const double cross_step = q.cxy * inv_dr;
+    for (Index m = 0; m < height; ++m) {
+      tables.bin_b[static_cast<std::size_t>(m)] = static_cast<float>(value);
+      tables.bin_c[static_cast<std::size_t>(m)] = static_cast<float>(cross);
+      value += delta;
+      delta += delta2;
+      cross += cross_step;
+    }
+    quadratic_phase_table(two_pi_k * m_const, two_pi_k * m_lin,
+                          two_pi_k * q.by, height, tables.psi_re.data(),
+                          tables.psi_im.data());
+    quadratic_phase_table(two_pi_k * q.cxy * m0, two_pi_k * q.cxy, 0.0,
+                          height, tables.gam_re.data(),
+                          tables.gam_im.data());
+  }
+}
+
+}  // namespace sarbp::asr
+

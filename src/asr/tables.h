@@ -1,0 +1,73 @@
+// Strength-reduced per-block lookup tables (paper Fig. 3(b) line 02:
+// "pre-compute A, B, C, Phi, Psi and Gamma").
+//
+// After the quadratic approximation r~(l, m) (quadratic.h), both inner-loop
+// math functions collapse to table reads plus a recurrence:
+//
+//   bin(l, m) = A[l] + B[m] + l * C[m]                       (pure FMA)
+//   arg(l, m) = Phi[l] * Psi[m] * gamma,   gamma *= Gamma[m] (complex muls)
+//
+// with l, m the 0-based indices inside the block. The centred-expansion
+// bookkeeping (paper footnote 4) is folded into the tables themselves:
+// A/Phi absorb the block-centre offset along l, B/Psi absorb it along m and
+// the cross-term's l-offset contribution.
+//
+// The tables are *computed in double* — including the mod-2*pi reduction of
+// the huge 2*pi*k*f0 constant phase — and *stored in float*, which is what
+// lets the inner loop run entirely in single precision at full accuracy
+// (paper §3.5, §5.2.1).
+#pragma once
+
+#include "asr/quadratic.h"
+#include "common/aligned.h"
+#include "common/types.h"
+
+namespace sarbp::asr {
+
+/// Reusable workspace for one block's tables; resize is amortized away by
+/// reuse across blocks/pulses.
+struct BlockTables {
+  Index width = 0;   ///< L: block extent along l (the inner/x loop)
+  Index height = 0;  ///< M: block extent along m (the outer/y loop)
+
+  AlignedVector<float> bin_a;  ///< [L]
+  AlignedVector<float> bin_b;  ///< [M]
+  AlignedVector<float> bin_c;  ///< [M]
+
+  AlignedVector<float> phi_re, phi_im;  ///< [L]
+  AlignedVector<float> psi_re, psi_im;  ///< [M]
+  AlignedVector<float> gam_re, gam_im;  ///< [M] step factor Gamma[m]
+
+  void resize(Index w, Index h);
+};
+
+/// Fills `tables` for one (block, pulse) pair.
+///   q:            range quadratic about the block centre (centred indices)
+///   start_range:  r0 — slant range of range bin 0 for this pulse
+///   bin_spacing:  dr
+///   two_pi_k:     2*pi*k with k the carrier wavenumber factor
+void build_block_tables(const Quadratic2D& q, double start_range,
+                        double bin_spacing, double two_pi_k, Index width,
+                        Index height, BlockTables& tables);
+
+/// Fast table construction (paper §4.4: "it is important to also vectorize
+/// the pre-computation step"): the phases of Phi/Psi/Gamma are quadratic
+/// (or linear) in the index, so each table follows a two-level complex
+/// recurrence — U[l+1] = U[l]*V[l], V[l+1] = V[l]*W — seeded by three exact
+/// complex exponentials per axis. All per-entry sin/cos calls disappear;
+/// the double-precision recurrence (with periodic renormalization) holds
+/// the error at the float-storage floor for any practical block size.
+/// Produces tables interchangeable with build_block_tables.
+void build_block_tables_fast(const Quadratic2D& q, double start_range,
+                             double bin_spacing, double two_pi_k, Index width,
+                             Index height, BlockTables& tables);
+
+/// Reconstructs bin(l, m) from the tables — the scalar identity the SIMD
+/// kernels must match; used by tests.
+[[nodiscard]] inline float table_bin(const BlockTables& t, Index l, Index m) {
+  return t.bin_a[static_cast<std::size_t>(l)] +
+         t.bin_b[static_cast<std::size_t>(m)] +
+         static_cast<float>(l) * t.bin_c[static_cast<std::size_t>(m)];
+}
+
+}  // namespace sarbp::asr

@@ -1,0 +1,49 @@
+#include "backprojection/accumulator.h"
+
+#include "common/check.h"
+
+namespace sarbp::bp {
+
+IncrementalAccumulator::IncrementalAccumulator(Index width, Index height,
+                                               int accumulation_factor)
+    : width_(width), height_(height), accumulation_factor_(accumulation_factor) {
+  ensure(width > 0 && height > 0, "IncrementalAccumulator: empty image");
+  ensure(accumulation_factor >= 0,
+         "IncrementalAccumulator: negative accumulation factor");
+}
+
+void IncrementalAccumulator::push(Grid2D<CFloat> batch) {
+  ensure(batch.width() == width_ && batch.height() == height_,
+         "IncrementalAccumulator::push: batch shape mismatch");
+  batches_.push_back(std::move(batch));
+  while (static_cast<int>(batches_.size()) > capacity()) {
+    batches_.pop_front();
+  }
+}
+
+void IncrementalAccumulator::current_into(Grid2D<CFloat>& out) const {
+  ensure(out.width() == width_ && out.height() == height_,
+         "IncrementalAccumulator::current_into: shape mismatch");
+  out.fill(CFloat{});
+  // A straight re-sum (rather than running-sum update) avoids unbounded
+  // floating-point drift; it is memory-bound and costs k+1 streaming passes
+  // versus the O(N * Ix * Iy * k) backprojection work it replaces.
+  for (const auto& batch : batches_) {
+    auto dst = out.flat();
+    auto src = batch.flat();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  }
+}
+
+Grid2D<CFloat> IncrementalAccumulator::current() const {
+  Grid2D<CFloat> out(width_, height_);
+  current_into(out);
+  return out;
+}
+
+std::size_t IncrementalAccumulator::footprint_bytes() const {
+  return batches_.size() * static_cast<std::size_t>(width_ * height_) *
+         sizeof(CFloat);
+}
+
+}  // namespace sarbp::bp

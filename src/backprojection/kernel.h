@@ -1,0 +1,87 @@
+// Backprojection kernels.
+//
+// Every kernel accumulates the contribution of pulses
+// [pulse_begin, pulse_end) onto the pixels of `region`:
+//
+//   Out[x, y] += interp(In_p, (|p(x,y) - p0_p| - r0_p)/dr)
+//                * exp(i * 2*pi*k * |p(x,y) - p0_p|)
+//
+// The variants differ in how the sqrt / sin / cos / interpolation are
+// computed — they are the experimental units of the paper's evaluation:
+//
+//  - ref:          everything in double precision; ground truth for SNR.
+//  - baseline:     the paper's pre-ASR production path — double-precision
+//                  range and argument reduction, single-precision
+//                  polynomial sin/cos and interpolation (Fig. 7 "before").
+//  - baseline all-float: range in single precision — reproduces the 12 dB
+//                  accuracy collapse quoted in §5.2.1 / Fig. 8.
+//  - asr_scalar:   approximate strength reduction (Fig. 3(b)), portable.
+//  - asr_simd:     ASR vectorized with AVX2/AVX-512 gathers over SoA pulse
+//                  data, recurrence stepped by the SIMD width (§4.4).
+//
+// Float kernels write into a SoaTile covering exactly `region` (tile-local
+// coordinates); the driver owns placement and reduction.
+#pragma once
+
+#include "backprojection/soa_tile.h"
+#include "common/grid2d.h"
+#include "common/region.h"
+#include "common/types.h"
+#include "geometry/grid.h"
+#include "geometry/wavefront.h"
+#include "sim/phase_history.h"
+
+namespace sarbp::bp {
+
+enum class KernelKind {
+  kRefDouble,
+  kBaseline,
+  kBaselineAllFloat,
+  kAsrScalar,
+  kAsrSimd,
+};
+
+/// Human-readable kernel name for benchmark output.
+const char* kernel_name(KernelKind kind);
+
+/// Full-double reference (accumulates into a double-precision image).
+void backproject_ref(const sim::PhaseHistory& history,
+                     const geometry::ImageGrid& grid, const Region& region,
+                     Index pulse_begin, Index pulse_end,
+                     Grid2D<CDouble>& out);
+
+/// Paper baseline (Fig. 3(a)): mixed precision, polynomial trig.
+/// `all_float` switches the range/reduction computation to single
+/// precision (the Fig. 8 12 dB data point).
+void backproject_baseline(const sim::PhaseHistory& history,
+                          const geometry::ImageGrid& grid,
+                          const Region& region, Index pulse_begin,
+                          Index pulse_end, bool all_float,
+                          geometry::LoopOrder order, SoaTile& out);
+
+/// ASR kernel, portable scalar code (Fig. 3(b)).
+/// block_w/block_h: ASR approximation block size (accuracy knob, §3.5).
+void backproject_asr_scalar(const sim::PhaseHistory& history,
+                            const geometry::ImageGrid& grid,
+                            const Region& region, Index pulse_begin,
+                            Index pulse_end, Index block_w, Index block_h,
+                            geometry::LoopOrder order, SoaTile& out);
+
+/// True when a vector (AVX2 or AVX-512) ASR kernel was compiled in.
+bool asr_simd_available();
+/// Lane count of the compiled SIMD kernel (16, 8, or 1 when scalar only).
+int asr_simd_width();
+
+/// ASR kernel, SIMD. Falls back to the scalar kernel when no vector ISA
+/// was compiled in. Requires history.has_soa().
+void backproject_asr_simd(const sim::PhaseHistory& history,
+                          const geometry::ImageGrid& grid,
+                          const Region& region, Index pulse_begin,
+                          Index pulse_end, Index block_w, Index block_h,
+                          geometry::LoopOrder order, SoaTile& out);
+
+/// FLOPs of one backprojection (pixel, pulse) pair in the ASR inner loop —
+/// the paper's §5.2.2 count used for efficiency figures.
+inline constexpr double kFlopsPerBackprojection = 38.0;
+
+}  // namespace sarbp::bp

@@ -1,0 +1,138 @@
+// ASR backprojection, portable scalar form — a direct realization of the
+// paper's Fig. 3(b):
+//
+//   for each pixel block:
+//     pre-compute A, B, C, Phi, Psi, Gamma          (tables.cpp, double)
+//     for each m (outer image axis):
+//       gamma = (1, 0)
+//       for each l (inner image axis):
+//         bin = A[l] + B[m] + l*C[m]
+//         arg = Phi[l] * Psi[m] * gamma             (8 muls, 4 adds)
+//         gamma *= Gamma[m]                         (4 muls, 2 adds)
+//         sample = interp(In, bin)                  (irregular access)
+//         Out[l, m] += arg * sample
+//
+// Loop structure is block-outer / pulse-inner (the cache-blocking cube C of
+// Fig. 5(b)): one block's output tile stays resident while every pulse in
+// the assigned range streams over it.
+#include <cmath>
+#include <numbers>
+
+#include "asr/block_plan.h"
+#include "asr/quadratic.h"
+#include "asr/tables.h"
+#include "backprojection/kernel.h"
+#include "common/check.h"
+
+namespace sarbp::bp {
+namespace {
+
+/// Quadratic for a block under the chosen loop order. For kYInner the l/m
+/// roles are the image's y/x axes; sqrt(x^2+y^2+alpha^2) is symmetric under
+/// swapping its first two arguments, so swapping the horizontal components
+/// of both points yields the swapped-axis expansion.
+asr::Quadratic2D block_quadratic(const geometry::Vec3& centre,
+                                 const geometry::Vec3& radar, double spacing,
+                                 geometry::LoopOrder order) {
+  if (order == geometry::LoopOrder::kXInner) {
+    return asr::range_quadratic(centre, radar, spacing, spacing);
+  }
+  const geometry::Vec3 centre_swapped{centre.y, centre.x, centre.z};
+  const geometry::Vec3 radar_swapped{radar.y, radar.x, radar.z};
+  return asr::range_quadratic(centre_swapped, radar_swapped, spacing, spacing);
+}
+
+}  // namespace
+
+void backproject_asr_scalar(const sim::PhaseHistory& history,
+                            const geometry::ImageGrid& grid,
+                            const Region& region, Index pulse_begin,
+                            Index pulse_end, Index block_w, Index block_h,
+                            geometry::LoopOrder order, SoaTile& out) {
+  ensure(pulse_begin >= 0 && pulse_end <= history.num_pulses() &&
+             pulse_begin <= pulse_end,
+         "backproject_asr_scalar: pulse range out of bounds");
+  ensure(out.width() == region.width && out.height() == region.height,
+         "backproject_asr_scalar: tile/region shape mismatch");
+  const double two_pi_k = 2.0 * std::numbers::pi * history.wavenumber();
+  const Index samples = history.samples_per_pulse();
+  const bool x_inner = order == geometry::LoopOrder::kXInner;
+
+  const auto blocks = asr::plan_blocks(region.x0, region.y0, region.width,
+                                       region.height, block_w, block_h);
+  asr::BlockTables tables;
+
+  for (const auto& block : blocks) {
+    const geometry::Vec3 centre = grid.position_f(
+        static_cast<double>(block.x0) + 0.5 * static_cast<double>(block.width - 1),
+        static_cast<double>(block.y0) + 0.5 * static_cast<double>(block.height - 1));
+    // Table extents under the chosen order: l is the inner image axis.
+    const Index len_l = x_inner ? block.width : block.height;
+    const Index len_m = x_inner ? block.height : block.width;
+    // Tile-local coordinates of the block origin.
+    const Index bx = block.x0 - region.x0;
+    const Index by = block.y0 - region.y0;
+
+    for (Index p = pulse_begin; p < pulse_end; ++p) {
+      const auto& meta = history.meta(p);
+      const CFloat* in = history.pulse(p).data();
+      const asr::Quadratic2D q =
+          block_quadratic(centre, meta.position, grid.spacing(), order);
+      asr::build_block_tables_fast(q, meta.start_range_m, history.bin_spacing(),
+                              two_pi_k, len_l, len_m, tables);
+
+      for (Index m = 0; m < len_m; ++m) {
+        const float bin_b = tables.bin_b[static_cast<std::size_t>(m)];
+        const float bin_c = tables.bin_c[static_cast<std::size_t>(m)];
+        const float psi_r = tables.psi_re[static_cast<std::size_t>(m)];
+        const float psi_i = tables.psi_im[static_cast<std::size_t>(m)];
+        const float gam_r = tables.gam_re[static_cast<std::size_t>(m)];
+        const float gam_i = tables.gam_im[static_cast<std::size_t>(m)];
+        // Output pointers: l walks x (stride 1) or y (stride tile width).
+        float* out_re;
+        float* out_im;
+        Index stride;
+        if (x_inner) {
+          out_re = out.row_re(by + m) + bx;
+          out_im = out.row_im(by + m) + bx;
+          stride = 1;
+        } else {
+          out_re = out.row_re(by) + bx + m;
+          out_im = out.row_im(by) + bx + m;
+          stride = out.width();
+        }
+        float g_r = 1.0f;
+        float g_i = 0.0f;
+        for (Index l = 0; l < len_l; ++l) {
+          const float bin = tables.bin_a[static_cast<std::size_t>(l)] + bin_b +
+                            static_cast<float>(l) * bin_c;
+          // arg = Phi[l] * Psi[m] * gamma
+          const float phi_r = tables.phi_re[static_cast<std::size_t>(l)];
+          const float phi_i = tables.phi_im[static_cast<std::size_t>(l)];
+          const float t_r = phi_r * g_r - phi_i * g_i;
+          const float t_i = phi_r * g_i + phi_i * g_r;
+          const float a_r = t_r * psi_r - t_i * psi_i;
+          const float a_i = t_r * psi_i + t_i * psi_r;
+          // gamma *= Gamma[m]
+          const float ng_r = g_r * gam_r - g_i * gam_i;
+          g_i = g_r * gam_i + g_i * gam_r;
+          g_r = ng_r;
+          if (bin >= 0.0f) {
+            const auto ibin = static_cast<Index>(bin);
+            if (ibin + 1 < samples) {
+              const float frac = bin - static_cast<float>(ibin);
+              const CFloat v0 = in[ibin];
+              const CFloat v1 = in[ibin + 1];
+              const float s_r = v0.real() + frac * (v1.real() - v0.real());
+              const float s_i = v0.imag() + frac * (v1.imag() - v0.imag());
+              out_re[l * stride] += a_r * s_r - a_i * s_i;
+              out_im[l * stride] += a_r * s_i + a_i * s_r;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sarbp::bp

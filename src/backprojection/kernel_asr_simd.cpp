@@ -1,0 +1,375 @@
+// ASR backprojection, vectorized (paper §4.4):
+//  - input pulse samples are read from the SoA planes with hardware
+//    gather instructions (In[bin] and In[bin+1], real and imaginary);
+//  - the loop-carried gamma recurrence is broken "by increasing the
+//    recurrence step size to the SIMD width": each lane carries
+//    Gamma[m]^lane and the whole vector is advanced by Gamma[m]^W;
+//  - each block accumulates into an l-contiguous scratch tile so stores
+//    stay unit-stride under either loop order, and is flushed into the
+//    thread-private output tile once per block.
+#include <cmath>
+#include <numbers>
+
+#include "asr/block_plan.h"
+#include "asr/quadratic.h"
+#include "asr/tables.h"
+#include "backprojection/kernel.h"
+#include "common/aligned.h"
+#include "common/check.h"
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace sarbp::bp {
+namespace {
+
+#if defined(__AVX512F__)
+constexpr int kSimdWidth = 16;
+#elif defined(__AVX2__)
+constexpr int kSimdWidth = 8;
+#else
+constexpr int kSimdWidth = 1;
+#endif
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+
+/// Per-row vector state: lane gammas and the W-step factor.
+struct GammaLanes {
+  alignas(64) float re[16];
+  alignas(64) float im[16];
+  float step_re;
+  float step_im;
+};
+
+GammaLanes make_gamma_lanes(float gam_r, float gam_i, int width) {
+  GammaLanes lanes{};
+  float gr = 1.0f;
+  float gi = 0.0f;
+  for (int lane = 0; lane < width; ++lane) {
+    lanes.re[lane] = gr;
+    lanes.im[lane] = gi;
+    const float ngr = gr * gam_r - gi * gam_i;
+    gi = gr * gam_i + gi * gam_r;
+    gr = ngr;
+  }
+  lanes.step_re = gr;  // Gamma^W
+  lanes.step_im = gi;
+  return lanes;
+}
+
+#endif  // any SIMD
+
+#if defined(__AVX512F__)
+
+void asr_rows_avx512(const asr::BlockTables& t, const float* soa_re,
+                     const float* soa_im, Index samples, float* scratch_re,
+                     float* scratch_im, Index len_l, Index len_m) {
+  const __m512 iota = _mm512_set_ps(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4,
+                                    3, 2, 1, 0);
+  const __m512i max_bin = _mm512_set1_epi32(static_cast<int>(samples) - 1);
+  for (Index m = 0; m < len_m; ++m) {
+    const float bin_b = t.bin_b[static_cast<std::size_t>(m)];
+    const float bin_c = t.bin_c[static_cast<std::size_t>(m)];
+    const float psi_r = t.psi_re[static_cast<std::size_t>(m)];
+    const float psi_i = t.psi_im[static_cast<std::size_t>(m)];
+    const GammaLanes lanes = make_gamma_lanes(
+        t.gam_re[static_cast<std::size_t>(m)],
+        t.gam_im[static_cast<std::size_t>(m)], 16);
+    __m512 g_r = _mm512_load_ps(lanes.re);
+    __m512 g_i = _mm512_load_ps(lanes.im);
+    const __m512 step_r = _mm512_set1_ps(lanes.step_re);
+    const __m512 step_i = _mm512_set1_ps(lanes.step_im);
+    const __m512 psi_rv = _mm512_set1_ps(psi_r);
+    const __m512 psi_iv = _mm512_set1_ps(psi_i);
+    const __m512 bin_bv = _mm512_set1_ps(bin_b);
+    const __m512 bin_cv = _mm512_set1_ps(bin_c);
+    float* acc_re = scratch_re + m * len_l;
+    float* acc_im = scratch_im + m * len_l;
+    Index l = 0;
+    for (; l + 16 <= len_l; l += 16) {
+      const __m512 lvec =
+          _mm512_add_ps(iota, _mm512_set1_ps(static_cast<float>(l)));
+      const __m512 bin_av = _mm512_loadu_ps(&t.bin_a[static_cast<std::size_t>(l)]);
+      const __m512 bin =
+          _mm512_fmadd_ps(lvec, bin_cv, _mm512_add_ps(bin_av, bin_bv));
+      const __m512i ibin = _mm512_cvttps_epi32(bin);
+      const __mmask16 nonneg =
+          _mm512_cmp_ps_mask(bin, _mm512_setzero_ps(), _CMP_GE_OQ);
+      const __mmask16 inrange = _mm512_cmplt_epi32_mask(ibin, max_bin);
+      // cvttps saturates float bins beyond INT_MAX to INT_MIN; the explicit
+      // ibin >= 0 check keeps such lanes out of the gather.
+      const __mmask16 iok =
+          _mm512_cmpgt_epi32_mask(ibin, _mm512_set1_epi32(-1));
+      const __mmask16 ok = nonneg & inrange & iok;
+      const __m512 frac = _mm512_sub_ps(bin, _mm512_cvtepi32_ps(ibin));
+      const __m512i ibin1 = _mm512_add_epi32(ibin, _mm512_set1_epi32(1));
+      const __m512 zero = _mm512_setzero_ps();
+      // 4 hardware gathers: In[bin]/In[bin+1] over both SoA planes; masked
+      // lanes never touch memory and contribute exact zeros downstream.
+      const __m512 re0 = _mm512_mask_i32gather_ps(zero, ok, ibin, soa_re, 4);
+      const __m512 re1 = _mm512_mask_i32gather_ps(zero, ok, ibin1, soa_re, 4);
+      const __m512 im0 = _mm512_mask_i32gather_ps(zero, ok, ibin, soa_im, 4);
+      const __m512 im1 = _mm512_mask_i32gather_ps(zero, ok, ibin1, soa_im, 4);
+      const __m512 s_r = _mm512_fmadd_ps(frac, _mm512_sub_ps(re1, re0), re0);
+      const __m512 s_i = _mm512_fmadd_ps(frac, _mm512_sub_ps(im1, im0), im0);
+      const __m512 phi_r = _mm512_loadu_ps(&t.phi_re[static_cast<std::size_t>(l)]);
+      const __m512 phi_i = _mm512_loadu_ps(&t.phi_im[static_cast<std::size_t>(l)]);
+      // arg = Phi * Psi * gamma (two complex multiplies)
+      const __m512 t_r =
+          _mm512_fmsub_ps(phi_r, g_r, _mm512_mul_ps(phi_i, g_i));
+      const __m512 t_i =
+          _mm512_fmadd_ps(phi_r, g_i, _mm512_mul_ps(phi_i, g_r));
+      const __m512 a_r =
+          _mm512_fmsub_ps(t_r, psi_rv, _mm512_mul_ps(t_i, psi_iv));
+      const __m512 a_i =
+          _mm512_fmadd_ps(t_r, psi_iv, _mm512_mul_ps(t_i, psi_rv));
+      // gamma *= Gamma^16
+      const __m512 ng_r =
+          _mm512_fmsub_ps(g_r, step_r, _mm512_mul_ps(g_i, step_i));
+      g_i = _mm512_fmadd_ps(g_r, step_i, _mm512_mul_ps(g_i, step_r));
+      g_r = ng_r;
+      // Out += arg * sample
+      const __m512 c_r = _mm512_fmsub_ps(a_r, s_r, _mm512_mul_ps(a_i, s_i));
+      const __m512 c_i = _mm512_fmadd_ps(a_r, s_i, _mm512_mul_ps(a_i, s_r));
+      _mm512_storeu_ps(acc_re + l,
+                       _mm512_add_ps(_mm512_loadu_ps(acc_re + l), c_r));
+      _mm512_storeu_ps(acc_im + l,
+                       _mm512_add_ps(_mm512_loadu_ps(acc_im + l), c_i));
+    }
+    // Scalar tail continues the recurrence from lane 0 of the vector state.
+    float sg_r = _mm512_cvtss_f32(g_r);
+    float sg_i = _mm512_cvtss_f32(g_i);
+    const float gam_r = t.gam_re[static_cast<std::size_t>(m)];
+    const float gam_i = t.gam_im[static_cast<std::size_t>(m)];
+    for (; l < len_l; ++l) {
+      const float bin = t.bin_a[static_cast<std::size_t>(l)] + bin_b +
+                        static_cast<float>(l) * bin_c;
+      const float phi_r = t.phi_re[static_cast<std::size_t>(l)];
+      const float phi_i = t.phi_im[static_cast<std::size_t>(l)];
+      const float t_r = phi_r * sg_r - phi_i * sg_i;
+      const float t_i = phi_r * sg_i + phi_i * sg_r;
+      const float a_r = t_r * psi_r - t_i * psi_i;
+      const float a_i = t_r * psi_i + t_i * psi_r;
+      const float ng_r = sg_r * gam_r - sg_i * gam_i;
+      sg_i = sg_r * gam_i + sg_i * gam_r;
+      sg_r = ng_r;
+      if (bin >= 0.0f) {
+        const auto ib = static_cast<Index>(bin);
+        if (ib + 1 < samples) {
+          const float frac = bin - static_cast<float>(ib);
+          const float s_r = soa_re[ib] + frac * (soa_re[ib + 1] - soa_re[ib]);
+          const float s_i = soa_im[ib] + frac * (soa_im[ib + 1] - soa_im[ib]);
+          acc_re[l] += a_r * s_r - a_i * s_i;
+          acc_im[l] += a_r * s_i + a_i * s_r;
+        }
+      }
+    }
+  }
+}
+
+#elif defined(__AVX2__)
+
+void asr_rows_avx2(const asr::BlockTables& t, const float* soa_re,
+                   const float* soa_im, Index samples, float* scratch_re,
+                   float* scratch_im, Index len_l, Index len_m) {
+  const __m256 iota = _mm256_set_ps(7, 6, 5, 4, 3, 2, 1, 0);
+  const __m256i max_bin = _mm256_set1_epi32(static_cast<int>(samples) - 1);
+  for (Index m = 0; m < len_m; ++m) {
+    const float bin_b = t.bin_b[static_cast<std::size_t>(m)];
+    const float bin_c = t.bin_c[static_cast<std::size_t>(m)];
+    const float psi_r = t.psi_re[static_cast<std::size_t>(m)];
+    const float psi_i = t.psi_im[static_cast<std::size_t>(m)];
+    const GammaLanes lanes = make_gamma_lanes(
+        t.gam_re[static_cast<std::size_t>(m)],
+        t.gam_im[static_cast<std::size_t>(m)], 8);
+    __m256 g_r = _mm256_load_ps(lanes.re);
+    __m256 g_i = _mm256_load_ps(lanes.im);
+    const __m256 step_r = _mm256_set1_ps(lanes.step_re);
+    const __m256 step_i = _mm256_set1_ps(lanes.step_im);
+    const __m256 psi_rv = _mm256_set1_ps(psi_r);
+    const __m256 psi_iv = _mm256_set1_ps(psi_i);
+    const __m256 bin_bv = _mm256_set1_ps(bin_b);
+    const __m256 bin_cv = _mm256_set1_ps(bin_c);
+    float* acc_re = scratch_re + m * len_l;
+    float* acc_im = scratch_im + m * len_l;
+    Index l = 0;
+    for (; l + 8 <= len_l; l += 8) {
+      const __m256 lvec =
+          _mm256_add_ps(iota, _mm256_set1_ps(static_cast<float>(l)));
+      const __m256 bin_av = _mm256_loadu_ps(&t.bin_a[static_cast<std::size_t>(l)]);
+      const __m256 bin =
+          _mm256_fmadd_ps(lvec, bin_cv, _mm256_add_ps(bin_av, bin_bv));
+      const __m256i ibin = _mm256_cvttps_epi32(bin);
+      const __m256 nonneg =
+          _mm256_cmp_ps(bin, _mm256_setzero_ps(), _CMP_GE_OQ);
+      const __m256 inrange =
+          _mm256_castsi256_ps(_mm256_cmpgt_epi32(max_bin, ibin));
+      // Guard against cvttps saturation (INT_MIN) for out-of-range bins.
+      const __m256 iok = _mm256_castsi256_ps(
+          _mm256_cmpgt_epi32(ibin, _mm256_set1_epi32(-1)));
+      const __m256 ok = _mm256_and_ps(_mm256_and_ps(nonneg, inrange), iok);
+      const __m256 frac = _mm256_sub_ps(bin, _mm256_cvtepi32_ps(ibin));
+      const __m256i ibin1 = _mm256_add_epi32(ibin, _mm256_set1_epi32(1));
+      const __m256 zero = _mm256_setzero_ps();
+      const __m256 re0 = _mm256_mask_i32gather_ps(zero, soa_re, ibin, ok, 4);
+      const __m256 re1 = _mm256_mask_i32gather_ps(zero, soa_re, ibin1, ok, 4);
+      const __m256 im0 = _mm256_mask_i32gather_ps(zero, soa_im, ibin, ok, 4);
+      const __m256 im1 = _mm256_mask_i32gather_ps(zero, soa_im, ibin1, ok, 4);
+      const __m256 s_r = _mm256_fmadd_ps(frac, _mm256_sub_ps(re1, re0), re0);
+      const __m256 s_i = _mm256_fmadd_ps(frac, _mm256_sub_ps(im1, im0), im0);
+      const __m256 phi_r = _mm256_loadu_ps(&t.phi_re[static_cast<std::size_t>(l)]);
+      const __m256 phi_i = _mm256_loadu_ps(&t.phi_im[static_cast<std::size_t>(l)]);
+      const __m256 t_r =
+          _mm256_fmsub_ps(phi_r, g_r, _mm256_mul_ps(phi_i, g_i));
+      const __m256 t_i =
+          _mm256_fmadd_ps(phi_r, g_i, _mm256_mul_ps(phi_i, g_r));
+      const __m256 a_r =
+          _mm256_fmsub_ps(t_r, psi_rv, _mm256_mul_ps(t_i, psi_iv));
+      const __m256 a_i =
+          _mm256_fmadd_ps(t_r, psi_iv, _mm256_mul_ps(t_i, psi_rv));
+      const __m256 ng_r =
+          _mm256_fmsub_ps(g_r, step_r, _mm256_mul_ps(g_i, step_i));
+      g_i = _mm256_fmadd_ps(g_r, step_i, _mm256_mul_ps(g_i, step_r));
+      g_r = ng_r;
+      const __m256 c_r = _mm256_fmsub_ps(a_r, s_r, _mm256_mul_ps(a_i, s_i));
+      const __m256 c_i = _mm256_fmadd_ps(a_r, s_i, _mm256_mul_ps(a_i, s_r));
+      _mm256_storeu_ps(acc_re + l,
+                       _mm256_add_ps(_mm256_loadu_ps(acc_re + l), c_r));
+      _mm256_storeu_ps(acc_im + l,
+                       _mm256_add_ps(_mm256_loadu_ps(acc_im + l), c_i));
+    }
+    float sg_r = _mm256_cvtss_f32(g_r);
+    float sg_i = _mm256_cvtss_f32(g_i);
+    const float gam_r = t.gam_re[static_cast<std::size_t>(m)];
+    const float gam_i = t.gam_im[static_cast<std::size_t>(m)];
+    for (; l < len_l; ++l) {
+      const float bin = t.bin_a[static_cast<std::size_t>(l)] + bin_b +
+                        static_cast<float>(l) * bin_c;
+      const float phi_r = t.phi_re[static_cast<std::size_t>(l)];
+      const float phi_i = t.phi_im[static_cast<std::size_t>(l)];
+      const float t_r = phi_r * sg_r - phi_i * sg_i;
+      const float t_i = phi_r * sg_i + phi_i * sg_r;
+      const float a_r = t_r * psi_r - t_i * psi_i;
+      const float a_i = t_r * psi_i + t_i * psi_r;
+      const float ng_r = sg_r * gam_r - sg_i * gam_i;
+      sg_i = sg_r * gam_i + sg_i * gam_r;
+      sg_r = ng_r;
+      if (bin >= 0.0f) {
+        const auto ib = static_cast<Index>(bin);
+        if (ib + 1 < samples) {
+          const float frac = bin - static_cast<float>(ib);
+          const float s_r = soa_re[ib] + frac * (soa_re[ib + 1] - soa_re[ib]);
+          const float s_i = soa_im[ib] + frac * (soa_im[ib + 1] - soa_im[ib]);
+          acc_re[l] += a_r * s_r - a_i * s_i;
+          acc_im[l] += a_r * s_i + a_i * s_r;
+        }
+      }
+    }
+  }
+}
+
+#endif  // ISA selection
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+
+asr::Quadratic2D block_quadratic_simd(const geometry::Vec3& centre,
+                                      const geometry::Vec3& radar,
+                                      double spacing,
+                                      geometry::LoopOrder order) {
+  if (order == geometry::LoopOrder::kXInner) {
+    return asr::range_quadratic(centre, radar, spacing, spacing);
+  }
+  const geometry::Vec3 centre_swapped{centre.y, centre.x, centre.z};
+  const geometry::Vec3 radar_swapped{radar.y, radar.x, radar.z};
+  return asr::range_quadratic(centre_swapped, radar_swapped, spacing, spacing);
+}
+
+#endif
+
+}  // namespace
+
+bool asr_simd_available() { return kSimdWidth > 1; }
+int asr_simd_width() { return kSimdWidth; }
+
+void backproject_asr_simd(const sim::PhaseHistory& history,
+                          const geometry::ImageGrid& grid,
+                          const Region& region, Index pulse_begin,
+                          Index pulse_end, Index block_w, Index block_h,
+                          geometry::LoopOrder order, SoaTile& out) {
+#if defined(__AVX512F__) || defined(__AVX2__)
+  ensure(history.has_soa(), "backproject_asr_simd: call PhaseHistory::build_soa first");
+  ensure(pulse_begin >= 0 && pulse_end <= history.num_pulses() &&
+             pulse_begin <= pulse_end,
+         "backproject_asr_simd: pulse range out of bounds");
+  ensure(out.width() == region.width && out.height() == region.height,
+         "backproject_asr_simd: tile/region shape mismatch");
+  const double two_pi_k = 2.0 * std::numbers::pi * history.wavenumber();
+  const Index samples = history.samples_per_pulse();
+  const bool x_inner = order == geometry::LoopOrder::kXInner;
+
+  const auto blocks = asr::plan_blocks(region.x0, region.y0, region.width,
+                                       region.height, block_w, block_h);
+  asr::BlockTables tables;
+  AlignedVector<float> scratch_re;
+  AlignedVector<float> scratch_im;
+
+  for (const auto& block : blocks) {
+    const geometry::Vec3 centre = grid.position_f(
+        static_cast<double>(block.x0) + 0.5 * static_cast<double>(block.width - 1),
+        static_cast<double>(block.y0) + 0.5 * static_cast<double>(block.height - 1));
+    const Index len_l = x_inner ? block.width : block.height;
+    const Index len_m = x_inner ? block.height : block.width;
+    const Index bx = block.x0 - region.x0;
+    const Index by = block.y0 - region.y0;
+    scratch_re.assign(static_cast<std::size_t>(len_l * len_m), 0.0f);
+    scratch_im.assign(static_cast<std::size_t>(len_l * len_m), 0.0f);
+
+    for (Index p = pulse_begin; p < pulse_end; ++p) {
+      const auto& meta = history.meta(p);
+      const asr::Quadratic2D q =
+          block_quadratic_simd(centre, meta.position, grid.spacing(), order);
+      asr::build_block_tables_fast(q, meta.start_range_m, history.bin_spacing(),
+                              two_pi_k, len_l, len_m, tables);
+      const float* soa_re = history.pulse_re(p).data();
+      const float* soa_im = history.pulse_im(p).data();
+#if defined(__AVX512F__)
+      asr_rows_avx512(tables, soa_re, soa_im, samples, scratch_re.data(),
+                      scratch_im.data(), len_l, len_m);
+#else
+      asr_rows_avx2(tables, soa_re, soa_im, samples, scratch_re.data(),
+                    scratch_im.data(), len_l, len_m);
+#endif
+    }
+
+    // Flush the block scratch into the thread tile under the (l, m) ->
+    // (x, y) mapping of the chosen order.
+    if (x_inner) {
+      for (Index m = 0; m < len_m; ++m) {
+        float* dst_re = out.row_re(by + m) + bx;
+        float* dst_im = out.row_im(by + m) + bx;
+        const float* src_re = scratch_re.data() + m * len_l;
+        const float* src_im = scratch_im.data() + m * len_l;
+        for (Index l = 0; l < len_l; ++l) {
+          dst_re[l] += src_re[l];
+          dst_im[l] += src_im[l];
+        }
+      }
+    } else {
+      for (Index m = 0; m < len_m; ++m) {
+        const float* src_re = scratch_re.data() + m * len_l;
+        const float* src_im = scratch_im.data() + m * len_l;
+        for (Index l = 0; l < len_l; ++l) {
+          out.row_re(by + l)[bx + m] += src_re[l];
+          out.row_im(by + l)[bx + m] += src_im[l];
+        }
+      }
+    }
+  }
+#else
+  backproject_asr_scalar(history, grid, region, pulse_begin, pulse_end,
+                         block_w, block_h, order, out);
+#endif
+}
+
+}  // namespace sarbp::bp

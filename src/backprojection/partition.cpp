@@ -1,0 +1,92 @@
+#include "backprojection/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sarbp::bp {
+namespace {
+
+/// All (a, b) with a*b == n.
+std::vector<std::pair<Index, Index>> factor_pairs(Index n) {
+  std::vector<std::pair<Index, Index>> pairs;
+  for (Index a = 1; a * a <= n; ++a) {
+    if (n % a == 0) {
+      pairs.emplace_back(a, n / a);
+      if (a != n / a) pairs.emplace_back(n / a, a);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+PartitionChoice choose_partition(const CubeShape& shape, Index workers,
+                                 Index min_edge) {
+  ensure(workers >= 1, "choose_partition: need at least one worker");
+  ensure(shape.width > 0 && shape.height > 0 && shape.pulses > 0,
+         "choose_partition: empty cube");
+  PartitionChoice best;
+  bool found = false;
+  double best_aspect = 0.0;
+  // Smallest pulse split first; within it, the most square image tiles.
+  for (Index pn = 1; pn <= workers; ++pn) {
+    if (workers % pn != 0 || pn > shape.pulses) continue;
+    const Index image_parts = workers / pn;
+    for (const auto& [px, py] : factor_pairs(image_parts)) {
+      const Index tile_w = shape.width / px;
+      const Index tile_h = shape.height / py;
+      if (tile_w < 1 || tile_h < 1) continue;
+      if (tile_w < min_edge || tile_h < min_edge) continue;
+      const double aspect =
+          static_cast<double>(std::min(tile_w, tile_h)) /
+          static_cast<double>(std::max(tile_w, tile_h));
+      if (!found || aspect > best_aspect) {
+        best = {px, py, pn};
+        best_aspect = aspect;
+        found = true;
+      }
+    }
+    if (found) return best;
+  }
+  // Image too small for min_edge tiles at this worker count: relax the
+  // edge constraint but still prefer image splits over pulse splits.
+  for (Index pn = 1; pn <= workers; ++pn) {
+    if (workers % pn != 0 || pn > shape.pulses) continue;
+    const Index image_parts = workers / pn;
+    for (const auto& [px, py] : factor_pairs(image_parts)) {
+      if (shape.width / px < 1 || shape.height / py < 1) continue;
+      return {px, py, pn};
+    }
+  }
+  return {1, 1, std::min(workers, shape.pulses)};
+}
+
+std::vector<CubePart> partition_cube(const CubeShape& shape,
+                                     const PartitionChoice& choice) {
+  ensure(choice.parts_x >= 1 && choice.parts_y >= 1 && choice.parts_pulse >= 1,
+         "partition_cube: invalid choice");
+  std::vector<CubePart> parts;
+  parts.reserve(static_cast<std::size_t>(choice.total()));
+  for (Index pp = 0; pp < choice.parts_pulse; ++pp) {
+    const Index p0 = split_begin(shape.pulses, choice.parts_pulse, pp);
+    const Index p1 = split_begin(shape.pulses, choice.parts_pulse, pp + 1);
+    for (Index py = 0; py < choice.parts_y; ++py) {
+      const Index y0 = split_begin(shape.height, choice.parts_y, py);
+      const Index y1 = split_begin(shape.height, choice.parts_y, py + 1);
+      for (Index px = 0; px < choice.parts_x; ++px) {
+        const Index x0 = split_begin(shape.width, choice.parts_x, px);
+        const Index x1 = split_begin(shape.width, choice.parts_x, px + 1);
+        CubePart part;
+        part.pulse_begin = p0;
+        part.pulse_end = p1;
+        part.region = Region{x0, y0, x1 - x0, y1 - y0};
+        parts.push_back(part);
+      }
+    }
+  }
+  return parts;
+}
+
+}  // namespace sarbp::bp

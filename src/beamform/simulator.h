@@ -1,0 +1,36 @@
+// Synthetic ultrasound channel-data generator: point scatterers insonified
+// by a 0-degree plane wave; each element records the complex-baseband echo
+// with the exact two-way delay and carrier phase.
+#pragma once
+
+#include <vector>
+
+#include "beamform/transducer.h"
+#include "common/rng.h"
+
+namespace sarbp::beamform {
+
+struct Scatterer {
+  double x_m = 0.0;
+  double z_m = 0.0;
+  double amplitude = 1.0;
+  double phase_rad = 0.0;
+};
+
+/// Simulates plane-wave (0 degree) insonification: the scatterer at (x, z)
+/// echoes into element e at path length z + sqrt((x - x_e)^2 + z^2), with
+/// a windowed-sinc pulse envelope (fractional bandwidth ~0.6) and carrier
+/// phase exp(-i * 2*pi * f0/c * path).
+ChannelData simulate_channels(const Transducer& transducer,
+                              const ScanRegion& region,
+                              std::span<const Scatterer> scatterers,
+                              double noise_sigma = 0.0,
+                              std::uint64_t seed = 1);
+
+/// Random speckle phantom: `count` scatterers uniform over the region with
+/// Rayleigh amplitudes (for contrast/cyst-style scenes add explicit
+/// scatterers on top).
+std::vector<Scatterer> random_phantom(const ScanRegion& region, int count,
+                                      sarbp::Rng& rng);
+
+}  // namespace sarbp::beamform

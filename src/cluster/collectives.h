@@ -1,0 +1,79 @@
+// Collective operations over the in-process cluster, built from
+// point-to-point messages: broadcast, gather, all-reduce. Root-relayed
+// (star) implementations — the cluster is threads in one process, so
+// algorithmic topology optimizations would be theater.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "cluster/comm.h"
+
+namespace sarbp::cluster {
+
+namespace detail {
+inline constexpr int kBroadcastTag = 0x7f00;
+inline constexpr int kGatherTag = 0x7f01;
+inline constexpr int kReduceTag = 0x7f02;
+}  // namespace detail
+
+/// Root's `values` is distributed to every rank; other ranks' vectors are
+/// replaced.
+template <class T>
+void broadcast(Communicator& comm, std::vector<T>& values, int root) {
+  if (comm.rank() == root) {
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r != root) {
+        comm.send_vec<T>(r, detail::kBroadcastTag, values);
+      }
+    }
+  } else {
+    values = comm.recv_vec<T>(root, detail::kBroadcastTag);
+  }
+}
+
+/// Concatenates every rank's contribution at the root (rank order);
+/// non-root ranks receive an empty vector.
+template <class T>
+std::vector<T> gather(Communicator& comm, std::span<const T> mine, int root) {
+  if (comm.rank() == root) {
+    std::vector<T> all;
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == root) {
+        all.insert(all.end(), mine.begin(), mine.end());
+      } else {
+        const auto part = comm.recv_vec<T>(r, detail::kGatherTag);
+        all.insert(all.end(), part.begin(), part.end());
+      }
+    }
+    return all;
+  }
+  comm.send_vec<T>(root, detail::kGatherTag, mine);
+  return {};
+}
+
+/// Element-wise sum across ranks; every rank receives the result.
+template <class T>
+std::vector<T> allreduce_sum(Communicator& comm, std::span<const T> mine) {
+  constexpr int kRoot = 0;
+  std::vector<T> result(mine.begin(), mine.end());
+  if (comm.rank() == kRoot) {
+    for (int r = 1; r < comm.size(); ++r) {
+      const auto part = comm.recv_vec<T>(r, detail::kReduceTag);
+      ensure(part.size() == result.size(), "allreduce_sum: size mismatch");
+      for (std::size_t i = 0; i < result.size(); ++i) result[i] += part[i];
+    }
+  } else {
+    comm.send_vec<T>(kRoot, detail::kReduceTag, std::span<const T>(result));
+  }
+  broadcast(comm, result, kRoot);
+  return result;
+}
+
+/// Scalar all-reduce convenience.
+inline double allreduce_sum(Communicator& comm, double value) {
+  const double v[1] = {value};
+  return allreduce_sum<double>(comm, std::span<const double>(v, 1))[0];
+}
+
+}  // namespace sarbp::cluster

@@ -1,0 +1,89 @@
+#include "cluster/comm.h"
+
+#include <exception>
+#include <thread>
+
+namespace sarbp::cluster {
+
+/// Shared state of one cluster run: a mailbox per rank plus a barrier.
+class Cluster {
+ public:
+  explicit Cluster(int ranks)
+      : boxes_(static_cast<std::size_t>(ranks)),
+        barrier_(ranks) {}
+
+  void deliver(int dest, int source, int tag, std::vector<std::byte> payload) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard lock(box.mutex);
+      box.messages[{source, tag}].push_back(std::move(payload));
+    }
+    box.cv.notify_all();
+  }
+
+  std::vector<std::byte> take(int dest, int source, int tag) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
+    std::unique_lock lock(box.mutex);
+    const auto key = std::make_pair(source, tag);
+    box.cv.wait(lock, [&] {
+      const auto it = box.messages.find(key);
+      return it != box.messages.end() && !it->second.empty();
+    });
+    auto it = box.messages.find(key);
+    std::vector<std::byte> payload = std::move(it->second.front());
+    it->second.pop_front();
+    return payload;
+  }
+
+  void wait_barrier() { barrier_.arrive_and_wait(); }
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> messages;
+  };
+  std::vector<Mailbox> boxes_;
+  std::barrier<> barrier_;
+};
+
+void Communicator::send(int dest, int tag, std::vector<std::byte> payload) {
+  ensure(dest >= 0 && dest < size_, "Communicator::send: bad destination");
+  cluster_->deliver(dest, rank_, tag, std::move(payload));
+}
+
+std::vector<std::byte> Communicator::recv(int source, int tag) {
+  ensure(source >= 0 && source < size_, "Communicator::recv: bad source");
+  return cluster_->take(rank_, source, tag);
+}
+
+void Communicator::barrier() { cluster_->wait_barrier(); }
+
+void run_cluster(int ranks,
+                 const std::function<void(Communicator&)>& program) {
+  ensure(ranks >= 1, "run_cluster: need at least one rank");
+  Cluster cluster(ranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(cluster, r, ranks);
+      try {
+        program(comm);
+      } catch (...) {
+        // Like MPI, an uncaught rank error is fatal to the whole job; the
+        // exception is rethrown to the caller after join. A rank that dies
+        // while peers wait on it would deadlock them — programs must not
+        // throw between matched communication calls.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace sarbp::cluster

@@ -1,0 +1,92 @@
+// In-process message-passing substrate (DESIGN.md §2 substitution for MPI).
+//
+// A "cluster" is a set of ranks executed as threads in one process; each
+// rank holds a Communicator with MPI-like point-to-point (send/recv with
+// source + tag matching), a barrier, and typed convenience wrappers. The
+// partitioning, pulse-scatter, and halo-exchange code paths of the paper's
+// multi-node pipeline run unchanged on top of this; wire time is modeled
+// separately (torus_model.h) exactly as the paper's own Table 5 projection
+// does.
+#pragma once
+
+#include <barrier>
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sarbp::cluster {
+
+class Cluster;
+
+/// Per-rank endpoint. Valid only inside run_cluster's program callback.
+class Communicator {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Point-to-point, non-blocking enqueue (buffered send).
+  void send(int dest, int tag, std::vector<std::byte> payload);
+
+  /// Blocks until a message from `source` with `tag` arrives.
+  std::vector<std::byte> recv(int source, int tag);
+
+  /// Synchronizes every rank of the cluster.
+  void barrier();
+
+  /// Typed wrappers for trivially copyable element types.
+  template <class T>
+  void send_vec(int dest, int tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(values.size_bytes());
+    if (!bytes.empty()) std::memcpy(bytes.data(), values.data(), bytes.size());
+    send(dest, tag, std::move(bytes));
+  }
+
+  template <class T>
+  std::vector<T> recv_vec(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> bytes = recv(source, tag);
+    ensure(bytes.size() % sizeof(T) == 0, "recv_vec: payload size mismatch");
+    std::vector<T> values(bytes.size() / sizeof(T));
+    if (!bytes.empty()) std::memcpy(values.data(), bytes.data(), bytes.size());
+    return values;
+  }
+
+  template <class T>
+  void send_value(int dest, int tag, const T& value) {
+    send_vec<T>(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  template <class T>
+  T recv_value(int source, int tag) {
+    const auto v = recv_vec<T>(source, tag);
+    ensure(v.size() == 1, "recv_value: expected exactly one element");
+    return v[0];
+  }
+
+ private:
+  friend class Cluster;
+  friend void run_cluster(int, const std::function<void(Communicator&)>&);
+  Communicator(Cluster& cluster, int rank, int size)
+      : cluster_(&cluster), rank_(rank), size_(size) {}
+
+  Cluster* cluster_;
+  int rank_;
+  int size_;
+};
+
+/// Runs `program` on `ranks` ranks (one thread each) and joins them.
+/// Exceptions thrown by any rank are rethrown (first one wins) after all
+/// ranks finished or aborted.
+void run_cluster(int ranks, const std::function<void(Communicator&)>& program);
+
+}  // namespace sarbp::cluster

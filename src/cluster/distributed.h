@@ -1,0 +1,30 @@
+// Distributed (multi-rank) backprojection: the paper's MPI-level
+// partitioning (Fig. 5) run on the in-process cluster. Rank 0 holds the
+// pulse batch, broadcasts it, each rank backprojects its image portion
+// (image dimensions split first — §4.2), and the tiles are gathered back.
+#pragma once
+
+#include "backprojection/backprojector.h"
+#include "common/grid2d.h"
+#include "geometry/grid.h"
+#include "sim/phase_history.h"
+
+namespace sarbp::cluster {
+
+struct DistributedReport {
+  double broadcast_bytes = 0.0;
+  double gather_bytes = 0.0;
+  double max_rank_compute_s = 0.0;  ///< slowest rank's backprojection time
+};
+
+/// Backprojects `history` over `ranks` in-process ranks and returns the
+/// assembled full image (identical, up to float reduction order, to a
+/// single-rank run). `report` (optional) receives communication volumes
+/// and the critical-path compute time.
+Grid2D<CFloat> distributed_backprojection(int ranks,
+                                          const sim::PhaseHistory& history,
+                                          const geometry::ImageGrid& grid,
+                                          const bp::BackprojectOptions& options,
+                                          DistributedReport* report = nullptr);
+
+}  // namespace sarbp::cluster

@@ -1,0 +1,126 @@
+// Boundary (halo) exchange over a 2D rank grid (paper §4.1): "each node
+// sends neighbors small boundary areas of the assigned image portion" —
+// width Sc before registration, Ncorr before CCD, Ncfar before CFAR.
+//
+// Each rank owns an interior tile of the global image and keeps a
+// `halo`-wide margin around it; exchange() fills the margins from the four
+// edge neighbours plus the four corners.
+#pragma once
+
+#include "cluster/comm.h"
+#include "common/grid2d.h"
+#include "common/region.h"
+#include "common/types.h"
+
+namespace sarbp::cluster {
+
+/// Layout of ranks over the image: ranks_x * ranks_y ranks, row-major.
+struct RankGrid {
+  Index ranks_x = 1;
+  Index ranks_y = 1;
+
+  [[nodiscard]] int rank_of(Index rx, Index ry) const {
+    return static_cast<int>(ry * ranks_x + rx);
+  }
+  [[nodiscard]] Index rx_of(int rank) const { return rank % ranks_x; }
+  [[nodiscard]] Index ry_of(int rank) const { return rank / ranks_x; }
+};
+
+/// Exchanges `halo`-wide boundary strips of `local` (a tile of
+/// (interior + 2*halo)^2 layout: interior at [halo, halo+iw) x
+/// [halo, halo+ih)) with the 8 neighbours in the rank grid. Edge-of-image
+/// ranks keep zeros in the missing directions.
+///
+/// `interior_w/h` are this rank's interior extents; they may differ by one
+/// pixel between ranks (remainder splitting) as long as neighbouring
+/// strips agree, which the even split of partition.h guarantees when every
+/// rank uses the same global split.
+template <class T>
+void exchange_halo(Communicator& comm, const RankGrid& ranks,
+                   Grid2D<T>& local, Index interior_w, Index interior_h,
+                   Index halo) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ensure(local.width() == interior_w + 2 * halo &&
+             local.height() == interior_h + 2 * halo,
+         "exchange_halo: tile shape must be interior + 2*halo");
+  ensure(halo >= 0, "exchange_halo: negative halo");
+  if (halo == 0 || comm.size() == 1) return;
+  ensure(static_cast<Index>(comm.size()) == ranks.ranks_x * ranks.ranks_y,
+         "exchange_halo: rank grid does not match communicator size");
+  const Index rx = ranks.rx_of(comm.rank());
+  const Index ry = ranks.ry_of(comm.rank());
+
+  // The 8 directions; tag encodes the direction so concurrent exchanges
+  // match deterministically.
+  struct Dir {
+    Index dx, dy;
+    int tag;
+  };
+  const Dir dirs[] = {{-1, 0, 1}, {1, 0, 2}, {0, -1, 3}, {0, 1, 4},
+                      {-1, -1, 5}, {1, -1, 6}, {-1, 1, 7}, {1, 1, 8}};
+
+  // Region of *our* data a neighbour in direction d needs: the strip of
+  // our interior adjacent to that edge.
+  auto strip_for = [&](const Dir& d) -> Region {
+    Region r;
+    r.x0 = d.dx < 0 ? halo : (d.dx > 0 ? halo + interior_w - halo : halo);
+    r.width = d.dx == 0 ? interior_w : halo;
+    r.y0 = d.dy < 0 ? halo : (d.dy > 0 ? halo + interior_h - halo : halo);
+    r.height = d.dy == 0 ? interior_h : halo;
+    return r;
+  };
+  // Margin region we fill with the neighbour's strip from direction d.
+  auto margin_for = [&](const Dir& d) -> Region {
+    Region r;
+    r.x0 = d.dx < 0 ? 0 : (d.dx > 0 ? halo + interior_w : halo);
+    r.width = d.dx == 0 ? interior_w : halo;
+    r.y0 = d.dy < 0 ? 0 : (d.dy > 0 ? halo + interior_h : halo);
+    r.height = d.dy == 0 ? interior_h : halo;
+    return r;
+  };
+
+  // Post all sends first (buffered), then receive — deadlock-free.
+  for (const Dir& d : dirs) {
+    const Index nx = rx + d.dx;
+    const Index ny = ry + d.dy;
+    if (nx < 0 || nx >= ranks.ranks_x || ny < 0 || ny >= ranks.ranks_y) {
+      continue;
+    }
+    const Region s = strip_for(d);
+    std::vector<T> payload(static_cast<std::size_t>(s.pixels()));
+    for (Index y = 0; y < s.height; ++y) {
+      for (Index x = 0; x < s.width; ++x) {
+        payload[static_cast<std::size_t>(y * s.width + x)] =
+            local.at(s.x0 + x, s.y0 + y);
+      }
+    }
+    comm.send_vec<T>(ranks.rank_of(nx, ny), d.tag,
+                     std::span<const T>(payload));
+  }
+  for (const Dir& d : dirs) {
+    const Index nx = rx + d.dx;
+    const Index ny = ry + d.dy;
+    if (nx < 0 || nx >= ranks.ranks_x || ny < 0 || ny >= ranks.ranks_y) {
+      continue;
+    }
+    // The neighbour sent with *its* direction tag: the direction pointing
+    // back at us is (-dx, -dy); find its tag.
+    int back_tag = 0;
+    for (const Dir& b : dirs) {
+      if (b.dx == -d.dx && b.dy == -d.dy) back_tag = b.tag;
+    }
+    const auto payload =
+        comm.recv_vec<T>(ranks.rank_of(nx, ny), back_tag);
+    const Region m = margin_for(d);
+    ensure(payload.size() == static_cast<std::size_t>(m.pixels()),
+           "exchange_halo: neighbour strip size mismatch");
+    for (Index y = 0; y < m.height; ++y) {
+      for (Index x = 0; x < m.width; ++x) {
+        local.at(m.x0 + x, m.y0 + y) =
+            payload[static_cast<std::size_t>(y * m.width + x)];
+      }
+    }
+  }
+}
+
+}  // namespace sarbp::cluster

@@ -1,0 +1,57 @@
+// Interconnect timing model for the multi-node projection (paper Table 5):
+// "We assume that the interconnect has a 3D-torus topology with 2 GB/s
+// channels", each node realizes 2 GB/s MPI and 200 MB/s disk bandwidth,
+// and data transfers are accounted per output image.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace sarbp::cluster {
+
+struct InterconnectModel {
+  double mpi_gbps = 2.0;    ///< per-node realized MPI bandwidth
+  double disk_mbps = 200.0; ///< per-node disk I/O bandwidth
+  int torus_dims = 3;       ///< 3D torus
+
+  /// Seconds to move `bytes` out of one node over MPI.
+  [[nodiscard]] double mpi_seconds(double bytes) const {
+    return bytes / (mpi_gbps * 1e9);
+  }
+
+  /// Seconds of disk I/O for `bytes` on one node.
+  [[nodiscard]] double disk_seconds(double bytes) const {
+    return bytes / (disk_mbps * 1e6);
+  }
+
+  /// Average hop count between random node pairs on an n-node 3D torus
+  /// (k^3 = n): k/4 per dimension, 3 dimensions.
+  [[nodiscard]] double average_hops(Index nodes) const;
+
+  /// Bisection bandwidth of the torus in GB/s: 2 * k^2 links * channel.
+  [[nodiscard]] double bisection_gbps(Index nodes) const;
+};
+
+/// Per-image, per-node communication volumes of the pipeline (paper §4.1):
+/// pulse distribution before backprojection (each node receives its
+/// 1/nodes share of the new pulse data — this also matches the paper's
+/// "9 ms" pulse-distribution quote at 16 nodes), boundary exchanges of
+/// width Sc/Ncor/Ncfar, reference/output image-tile traffic, and raw-pulse
+/// recording to disk.
+struct CommunicationVolumes {
+  double pulse_scatter_bytes = 0.0;   ///< new-pulse share per node
+  double boundary_bytes = 0.0;        ///< halo strips (reg + CCD + CFAR)
+  double image_exchange_bytes = 0.0;  ///< image tile traffic per node
+  double disk_bytes = 0.0;            ///< raw pulse recording per node
+};
+
+/// Communication volumes for a weak-scaling configuration: image Ix x Iy
+/// over `nodes` ranks (square-ish grid), N pulses of S samples (8-byte
+/// complex), boundary widths sc/ncor/ncfar (complex pixels and float
+/// correlation values).
+CommunicationVolumes communication_volumes(Index nodes, Index image,
+                                           Index pulses, Index samples,
+                                           Index sc, Index ncor, Index ncfar);
+
+}  // namespace sarbp::cluster

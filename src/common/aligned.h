@@ -1,0 +1,49 @@
+// Aligned allocation support for SIMD-hot arrays.
+#pragma once
+
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sarbp {
+
+/// Minimal C++17 aligned allocator. All hot arrays (pulse samples, image
+/// tiles, ASR tables) are allocated with 64-byte alignment so that AVX-512
+/// loads/stores never split cache lines.
+template <class T, std::size_t Alignment = kSimdAlign>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{Alignment};
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_array_new_length();
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { ::operator delete(p, kAlign); }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// Vector with 64-byte-aligned storage.
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace sarbp

@@ -1,0 +1,36 @@
+#include "common/cpu.h"
+
+#include <omp.h>
+
+#include <sstream>
+#include <thread>
+
+namespace sarbp {
+
+CpuInfo cpu_info() {
+  CpuInfo info;
+  info.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  if (info.hardware_threads <= 0) info.hardware_threads = 1;
+  info.openmp_max_threads = omp_get_max_threads();
+#if defined(__AVX512F__)
+  info.avx512f = true;
+#endif
+#if defined(__AVX2__)
+  info.avx2 = true;
+#endif
+  info.simd_width_floats = info.avx512f ? 16 : (info.avx2 ? 8 : 1);
+  return info;
+}
+
+std::string cpu_summary() {
+  const CpuInfo info = cpu_info();
+  std::ostringstream os;
+  os << "threads=" << info.hardware_threads
+     << " omp_max=" << info.openmp_max_threads << " simd="
+     << (info.avx512f ? "avx512" : (info.avx2 ? "avx2" : "scalar")) << " ("
+     << info.simd_width_floats << "-wide f32)";
+  return os.str();
+}
+
+}  // namespace sarbp

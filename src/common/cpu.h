@@ -1,0 +1,24 @@
+// Host capability queries used for kernel dispatch decisions and for
+// printing the evaluation setup header (paper Table 2 analogue).
+#pragma once
+
+#include <string>
+
+namespace sarbp {
+
+struct CpuInfo {
+  int hardware_threads = 1;   ///< std::thread::hardware_concurrency
+  int openmp_max_threads = 1; ///< omp_get_max_threads at startup
+  bool avx2 = false;          ///< compiled-in AVX2 kernel availability
+  bool avx512f = false;       ///< compiled-in AVX-512F kernel availability
+  int simd_width_floats = 1;  ///< widest usable SIMD lane count for f32
+};
+
+/// Capabilities of the binary as compiled (compile-time ISA selection;
+/// the library is built with -march=native so compiled == runtime).
+CpuInfo cpu_info();
+
+/// Human-readable one-liner for benchmark headers.
+std::string cpu_summary();
+
+}  // namespace sarbp

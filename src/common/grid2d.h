@@ -1,0 +1,69 @@
+// Row-major 2D array with aligned storage — the container behind SAR
+// images, correlation maps, and ASR coefficient tables.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "common/aligned.h"
+#include "common/check.h"
+#include "common/types.h"
+
+namespace sarbp {
+
+template <class T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+
+  /// width = fast (x) dimension, height = slow (y) dimension.
+  Grid2D(Index width, Index height, T fill = T{})
+      : width_(width), height_(height) {
+    ensure(width >= 0 && height >= 0, "Grid2D dimensions must be non-negative");
+    data_.assign(static_cast<std::size_t>(width * height), fill);
+  }
+
+  [[nodiscard]] Index width() const { return width_; }
+  [[nodiscard]] Index height() const { return height_; }
+  [[nodiscard]] Index size() const { return width_ * height_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] T& at(Index x, Index y) {
+    return data_[static_cast<std::size_t>(y * width_ + x)];
+  }
+  [[nodiscard]] const T& at(Index x, Index y) const {
+    return data_[static_cast<std::size_t>(y * width_ + x)];
+  }
+
+  /// One image row as a contiguous span (used by SIMD kernels).
+  [[nodiscard]] std::span<T> row(Index y) {
+    return {data_.data() + y * width_, static_cast<std::size_t>(width_)};
+  }
+  [[nodiscard]] std::span<const T> row(Index y) const {
+    return {data_.data() + y * width_, static_cast<std::size_t>(width_)};
+  }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::span<T> flat() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> flat() const {
+    return {data_.data(), data_.size()};
+  }
+
+  void fill(const T& value) { data_.assign(data_.size(), value); }
+
+  [[nodiscard]] bool same_shape(const Grid2D& other) const {
+    return width_ == other.width_ && height_ == other.height_;
+  }
+
+  friend bool operator==(const Grid2D& a, const Grid2D& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ && a.data_ == b.data_;
+  }
+
+ private:
+  Index width_ = 0;
+  Index height_ = 0;
+  AlignedVector<T> data_;
+};
+
+}  // namespace sarbp

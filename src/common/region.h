@@ -1,0 +1,23 @@
+// Rectangular pixel region [x0, x0+width) x [y0, y0+height).
+#pragma once
+
+#include "common/types.h"
+
+namespace sarbp {
+
+struct Region {
+  Index x0 = 0;
+  Index y0 = 0;
+  Index width = 0;
+  Index height = 0;
+
+  [[nodiscard]] Index pixels() const { return width * height; }
+  [[nodiscard]] bool empty() const { return width <= 0 || height <= 0; }
+  [[nodiscard]] bool contains(Index x, Index y) const {
+    return x >= x0 && x < x0 + width && y >= y0 && y < y0 + height;
+  }
+
+  friend bool operator==(const Region&, const Region&) = default;
+};
+
+}  // namespace sarbp

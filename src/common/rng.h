@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the reproduction (reflector placement,
+// trajectory perturbation, INS shift injection, test fuzzing) draws from
+// this generator so that runs are exactly repeatable from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace sarbp {
+
+/// xoshiro256++ — small, fast, and high quality; splittable via jump().
+/// (Blackman & Vigna, 2019.) We avoid std::mt19937 in library code because
+/// its state is large and its distributions are not reproducible across
+/// standard library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box–Muller (deterministic pair caching).
+  double normal() noexcept;
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Returns an independent stream: equivalent to 2^128 calls of next().
+  /// Used to give each simulated pulse / rank its own substream.
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace sarbp

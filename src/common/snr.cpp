@@ -1,0 +1,49 @@
+#include "common/snr.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace sarbp {
+namespace {
+
+template <class M, class R>
+double snr_db_impl(std::span<const M> measured, std::span<const R> reference) {
+  ensure(measured.size() == reference.size(), "snr_db: size mismatch");
+  // Accumulate in double regardless of input precision; the error power can
+  // be ~1e-11 of the signal power and must not round away.
+  double signal = 0.0;
+  double noise = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double rr = static_cast<double>(reference[i].real());
+    const double ri = static_cast<double>(reference[i].imag());
+    const double er = static_cast<double>(measured[i].real()) - rr;
+    const double ei = static_cast<double>(measured[i].imag()) - ri;
+    signal += rr * rr + ri * ri;
+    noise += er * er + ei * ei;
+  }
+  if (noise == 0.0) return std::numeric_limits<double>::infinity();
+  if (signal == 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(signal / noise);
+}
+
+}  // namespace
+
+double snr_db(std::span<const CFloat> measured, std::span<const CDouble> reference) {
+  return snr_db_impl(measured, reference);
+}
+
+double snr_db(std::span<const CFloat> measured, std::span<const CFloat> reference) {
+  return snr_db_impl(measured, reference);
+}
+
+double snr_db(const Grid2D<CFloat>& measured, const Grid2D<CDouble>& reference) {
+  return snr_db_impl(measured.flat(), reference.flat());
+}
+
+double snr_db(const Grid2D<CFloat>& measured, const Grid2D<CFloat>& reference) {
+  return snr_db_impl(measured.flat(), reference.flat());
+}
+
+}  // namespace sarbp

@@ -1,0 +1,27 @@
+// Signal-to-noise ratio metric used throughout the evaluation.
+//
+// The paper (§5.2.1) measures accuracy as
+//   SNR = 10 * log10( sum |reference|^2 / sum |measured - reference|^2 )
+// against a full-double-precision reference; a 20 dB increment is one more
+// correct decimal digit.
+#pragma once
+
+#include <span>
+
+#include "common/grid2d.h"
+#include "common/types.h"
+
+namespace sarbp {
+
+/// SNR in dB of `measured` against `reference` (element-wise complex).
+/// Returns +infinity when the error is exactly zero.
+double snr_db(std::span<const CFloat> measured, std::span<const CDouble> reference);
+
+/// Overload for two single-precision signals (e.g. kernel-vs-kernel).
+double snr_db(std::span<const CFloat> measured, std::span<const CFloat> reference);
+
+/// Convenience overloads for images.
+double snr_db(const Grid2D<CFloat>& measured, const Grid2D<CDouble>& reference);
+double snr_db(const Grid2D<CFloat>& measured, const Grid2D<CFloat>& reference);
+
+}  // namespace sarbp

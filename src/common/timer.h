@@ -1,0 +1,94 @@
+// Wall-clock timing utilities used by benchmarks and the pipeline's
+// dynamic load balancer.
+#pragma once
+
+#include <ctime>
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace sarbp {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch: unaffected by time-slicing against other
+/// threads, so simulated cluster ranks sharing cores still report their
+/// true compute cost (the in-process MPI substitute relies on this).
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  [[nodiscard]] double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+  double start_;
+};
+
+/// Accumulates named time sections; used to produce the Fig. 7-style
+/// execution-time breakdowns (sqrt / sin+cos / interpolation / other).
+class SectionTimes {
+ public:
+  void add(const std::string& name, double seconds) { times_[name] += seconds; }
+
+  [[nodiscard]] double get(const std::string& name) const {
+    auto it = times_.find(name);
+    return it == times_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] double total() const {
+    double t = 0.0;
+    for (const auto& [name, secs] : times_) t += secs;
+    return t;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& sections() const {
+    return times_;
+  }
+
+  void clear() { times_.clear(); }
+
+ private:
+  std::map<std::string, double> times_;
+};
+
+/// RAII helper adding the scope's duration to a SectionTimes entry.
+class ScopedSection {
+ public:
+  ScopedSection(SectionTimes& sink, std::string name)
+      : sink_(sink), name_(std::move(name)) {}
+  ScopedSection(const ScopedSection&) = delete;
+  ScopedSection& operator=(const ScopedSection&) = delete;
+  ~ScopedSection() { sink_.add(name_, timer_.seconds()); }
+
+ private:
+  SectionTimes& sink_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace sarbp

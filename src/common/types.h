@@ -1,0 +1,29 @@
+// Core scalar and complex types shared by every sarbp module.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace sarbp {
+
+/// Single-precision complex sample: the working type of the backprojection
+/// inner loop (the paper's ASR makes an all-single-precision loop accurate
+/// enough; see §3.5).
+using CFloat = std::complex<float>;
+
+/// Double-precision complex: used for reference computations and for the
+/// accuracy-sensitive ASR pre-computation step.
+using CDouble = std::complex<double>;
+
+/// Signed index type used for image/pulse coordinates. Signed so that loop
+/// arithmetic (offsets from block centres, halo widths) stays natural.
+using Index = std::ptrdiff_t;
+
+/// Cache-line size assumed for alignment and false-sharing avoidance.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// SIMD register width in bytes we align hot arrays to (AVX-512 friendly).
+inline constexpr std::size_t kSimdAlign = 64;
+
+}  // namespace sarbp

@@ -1,0 +1,68 @@
+// Output image grid: maps pixel indices to scene positions.
+#pragma once
+
+#include "common/check.h"
+#include "common/types.h"
+#include "geometry/vec3.h"
+
+namespace sarbp::geometry {
+
+/// Flat (z = 0 plane) imaging grid centred on a scene reference point.
+/// Pixel (0, 0) is the grid's lower-left corner; x is the fast dimension.
+class ImageGrid {
+ public:
+  ImageGrid(Index width, Index height, double pixel_spacing_m,
+            Vec3 centre = {}) noexcept
+      : width_(width),
+        height_(height),
+        spacing_(pixel_spacing_m),
+        centre_(centre) {}
+
+  [[nodiscard]] Index width() const { return width_; }
+  [[nodiscard]] Index height() const { return height_; }
+  [[nodiscard]] double spacing() const { return spacing_; }
+  [[nodiscard]] const Vec3& centre() const { return centre_; }
+
+  /// Scene position of pixel (ix, iy): centre + spacing * (ix - w/2, iy - h/2).
+  [[nodiscard]] Vec3 position(Index ix, Index iy) const {
+    return {centre_.x + spacing_ * (static_cast<double>(ix) -
+                                    0.5 * static_cast<double>(width_ - 1)),
+            centre_.y + spacing_ * (static_cast<double>(iy) -
+                                    0.5 * static_cast<double>(height_ - 1)),
+            centre_.z};
+  }
+
+  /// Scene position at continuous pixel coordinates (block centres fall on
+  /// half-integers).
+  [[nodiscard]] Vec3 position_f(double fx, double fy) const {
+    return {centre_.x + spacing_ * (fx - 0.5 * static_cast<double>(width_ - 1)),
+            centre_.y + spacing_ * (fy - 0.5 * static_cast<double>(height_ - 1)),
+            centre_.z};
+  }
+
+  /// Continuous pixel x-coordinate of a scene x position (inverse map).
+  [[nodiscard]] double pixel_x(double scene_x) const {
+    return (scene_x - centre_.x) / spacing_ +
+           0.5 * static_cast<double>(width_ - 1);
+  }
+  [[nodiscard]] double pixel_y(double scene_y) const {
+    return (scene_y - centre_.y) / spacing_ +
+           0.5 * static_cast<double>(height_ - 1);
+  }
+
+  /// Physical edge length of the imaged region along x.
+  [[nodiscard]] double extent_x() const {
+    return spacing_ * static_cast<double>(width_);
+  }
+  [[nodiscard]] double extent_y() const {
+    return spacing_ * static_cast<double>(height_);
+  }
+
+ private:
+  Index width_;
+  Index height_;
+  double spacing_;
+  Vec3 centre_;
+};
+
+}  // namespace sarbp::geometry

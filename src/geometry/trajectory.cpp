@@ -1,0 +1,41 @@
+#include "geometry/trajectory.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sarbp::geometry {
+
+double OrbitParams::slant_range() const {
+  return std::sqrt(radius_m * radius_m + altitude_m * altitude_m);
+}
+
+std::vector<PulsePose> circular_orbit(const OrbitParams& orbit,
+                                      const TrajectoryErrorModel& errors,
+                                      Index count, sarbp::Rng& rng) {
+  ensure(count >= 0, "circular_orbit: negative pulse count");
+  ensure(orbit.prf_hz > 0, "circular_orbit: PRF must be positive");
+  std::vector<PulsePose> poses;
+  poses.reserve(static_cast<std::size_t>(count));
+  const double dt = 1.0 / orbit.prf_hz;
+  for (Index i = 0; i < count; ++i) {
+    PulsePose pose;
+    pose.time_s = static_cast<double>(i) * dt;
+    pose.aperture_angle_rad =
+        orbit.start_angle_rad + orbit.angular_rate_rad_s * pose.time_s;
+    const Vec3 ideal{orbit.radius_m * std::cos(pose.aperture_angle_rad),
+                     orbit.radius_m * std::sin(pose.aperture_angle_rad),
+                     orbit.altitude_m};
+    const Vec3 noise{rng.normal(0.0, errors.perturbation_sigma_m),
+                     rng.normal(0.0, errors.perturbation_sigma_m),
+                     rng.normal(0.0, errors.perturbation_sigma_m)};
+    pose.true_position = ideal + noise;
+    // The INS knows the perturbed position (it measures the real motion)
+    // but carries a bias; image formation consumes recorded_position.
+    pose.recorded_position = pose.true_position + errors.recorded_bias;
+    poses.push_back(pose);
+  }
+  return poses;
+}
+
+}  // namespace sarbp::geometry

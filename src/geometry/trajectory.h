@@ -1,0 +1,53 @@
+// Radar platform trajectory models.
+//
+// Spotlight mode (paper Fig. 1): the platform "repeatedly flies around the
+// target imaging area while maintaining an approximate circular orbit".
+// A random perturbation is induced per pulse "to test the robustness of SAR
+// imaging via backprojection", and shifts in the *recorded* trajectory are
+// induced between images to exercise the registration stage (§5.1).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "geometry/vec3.h"
+
+namespace sarbp::geometry {
+
+struct OrbitParams {
+  double radius_m = 15000.0;    ///< horizontal standoff from scene centre
+  double altitude_m = 8000.0;   ///< platform height above the z=0 scene
+  double angular_rate_rad_s = 0.02;  ///< orbit rate (rad/s of aperture angle)
+  double prf_hz = 500.0;        ///< pulse repetition frequency
+  double start_angle_rad = 0.0;
+
+  /// Slant range from orbit to scene centre.
+  [[nodiscard]] double slant_range() const;
+};
+
+/// Gaussian per-pulse position noise (true trajectory never exactly matches
+/// the ideal orbit) plus an optional constant recorded-position bias that
+/// models inertial-navigation drift between images.
+struct TrajectoryErrorModel {
+  double perturbation_sigma_m = 0.05;  ///< iid per-pulse, each axis
+  Vec3 recorded_bias;                  ///< added to *recorded* positions only
+};
+
+/// Platform state for one pulse: where the radar actually was when the
+/// pulse was transmitted, and where the INS *says* it was (what image
+/// formation uses).
+struct PulsePose {
+  Vec3 true_position;
+  Vec3 recorded_position;
+  double time_s = 0.0;
+  double aperture_angle_rad = 0.0;
+};
+
+/// Generates `count` pulse poses along a perturbed circular orbit.
+/// Deterministic given the RNG seed.
+std::vector<PulsePose> circular_orbit(const OrbitParams& orbit,
+                                      const TrajectoryErrorModel& errors,
+                                      Index count, sarbp::Rng& rng);
+
+}  // namespace sarbp::geometry

@@ -1,0 +1,32 @@
+#include "geometry/wavefront.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sarbp::geometry {
+
+double expected_consecutive_same_bin(const Vec3& radar_position,
+                                     const ImageGrid& grid,
+                                     double bin_spacing_m, LoopOrder order) {
+  // Average |d r / d s| over the image for a unit step s along the chosen
+  // inner axis, evaluated at the grid midline. dr/ds = (p - p0) . e / r.
+  const Vec3 step = order == LoopOrder::kXInner ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  const Index samples = 17;  // coarse quadrature across the image is plenty
+  double mean_abs_drds = 0.0;
+  for (Index i = 0; i < samples; ++i) {
+    const double fx = static_cast<double>(i) / static_cast<double>(samples - 1);
+    const Index ix = static_cast<Index>(fx * static_cast<double>(grid.width() - 1));
+    const Index iy = static_cast<Index>(fx * static_cast<double>(grid.height() - 1));
+    const Vec3 p = order == LoopOrder::kXInner ? grid.position(ix, grid.height() / 2)
+                                               : grid.position(grid.width() / 2, iy);
+    const Vec3 d = p - radar_position;
+    const double r = d.norm();
+    mean_abs_drds += std::abs(d.dot(step)) / r;
+  }
+  mean_abs_drds /= static_cast<double>(samples);
+  const double range_step = mean_abs_drds * grid.spacing();
+  if (range_step <= 0.0) return static_cast<double>(grid.width());
+  return std::max(1.0, bin_spacing_m / range_step);
+}
+
+}  // namespace sarbp::geometry

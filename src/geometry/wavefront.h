@@ -1,0 +1,45 @@
+// Wavefront-orientation analysis for the dynamic loop-reordering
+// optimization (paper §4.3, Fig. 6).
+//
+// Iterating the image dimension that is most nearly *tangent* to the radar
+// wavefront keeps consecutive pixels at nearly equal range r, so the inner
+// loop re-reads the same In[bin] entries — better gather locality. Which
+// dimension that is depends on the pulse's look direction, so the x/y loop
+// order is chosen per pulse.
+#pragma once
+
+#include "geometry/grid.h"
+#include "geometry/vec3.h"
+
+namespace sarbp::geometry {
+
+enum class LoopOrder {
+  kXInner,  ///< inner loop walks x (use when the look direction is mostly y)
+  kYInner,  ///< inner loop walks y (use when the look direction is mostly x)
+};
+
+/// Chooses the loop order for a pulse: walk the image axis most orthogonal
+/// to the ground-projected look direction. With the radar "mostly
+/// horizontally distanced from the imaging centre" (paper Fig. 6), i.e.
+/// look direction along x, iterating along y first yields similar r values.
+[[nodiscard]] inline LoopOrder choose_loop_order(const Vec3& radar_position,
+                                                 const Vec3& scene_centre) {
+  const Vec3 look = scene_centre - radar_position;
+  return std::abs(look.x) >= std::abs(look.y) ? LoopOrder::kYInner
+                                              : LoopOrder::kXInner;
+}
+
+/// Analytic expectation of how many consecutive inner-loop backprojections
+/// hit the same range bin (the paper's 5 -> 17 locality analysis, §4.3).
+///
+/// For a pixel step of `pixel_spacing` along the inner-loop axis, the range
+/// change per step is |cos(theta)| * spacing (theta: angle between the look
+/// direction and the step direction). One range bin spans `bin_spacing`
+/// metres, so on average bin_spacing / (|cos(theta)| * spacing) consecutive
+/// pixels share a bin. The paper's scenario — edge length 1/10 of the
+/// scene-to-radar distance — gives ~5 without reordering and ~17 with it.
+double expected_consecutive_same_bin(const Vec3& radar_position,
+                                     const ImageGrid& grid,
+                                     double bin_spacing_m, LoopOrder order);
+
+}  // namespace sarbp::geometry

@@ -1,0 +1,122 @@
+#include "io/image_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sarbp::io {
+namespace {
+
+void write_npy_raw(const std::string& path, const void* data,
+                   std::size_t bytes, const std::string& descr, Index width,
+                   Index height) {
+  // NPY format v1.0: magic, version, little-endian header length, then a
+  // Python-dict header padded with spaces to a 64-byte boundary.
+  std::ostringstream header;
+  header << "{'descr': '" << descr << "', 'fortran_order': False, 'shape': ("
+         << height << ", " << width << "), }";
+  std::string h = header.str();
+  const std::size_t unpadded = 10 + h.size() + 1;
+  const std::size_t padded = (unpadded + 63) / 64 * 64;
+  h.append(padded - unpadded, ' ');
+  h.push_back('\n');
+
+  std::ofstream out(path, std::ios::binary);
+  ensure(out.good(), "write_npy: cannot open " + path);
+  const char magic[] = "\x93NUMPY";
+  out.write(magic, 6);
+  out.put('\x01');
+  out.put('\x00');
+  const auto hlen = static_cast<std::uint16_t>(h.size());
+  out.put(static_cast<char>(hlen & 0xff));
+  out.put(static_cast<char>(hlen >> 8));
+  out.write(h.data(), static_cast<std::streamsize>(h.size()));
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  ensure(out.good(), "write_npy: write failed for " + path);
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, const Grid2D<CFloat>& image,
+               const PgmOptions& options) {
+  ensure(image.size() > 0, "write_pgm: empty image");
+  double peak = 0.0;
+  for (const auto& v : image.flat()) {
+    peak = std::max(peak, static_cast<double>(std::abs(v)));
+  }
+  if (peak <= 0.0) peak = 1.0;
+
+  std::ofstream out(path, std::ios::binary);
+  ensure(out.good(), "write_pgm: cannot open " + path);
+  out << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  for (Index y = 0; y < image.height(); ++y) {
+    for (Index x = 0; x < image.width(); ++x) {
+      const double mag = std::abs(image.at(x, y)) / peak;
+      double level;
+      if (options.dynamic_range_db > 0.0) {
+        const double db = 20.0 * std::log10(std::max(mag, 1e-12));
+        level = (db + options.dynamic_range_db) / options.dynamic_range_db;
+      } else {
+        level = mag;
+      }
+      const int byte = std::clamp(static_cast<int>(level * 255.0), 0, 255);
+      out.put(static_cast<char>(byte));
+    }
+  }
+  ensure(out.good(), "write_pgm: write failed for " + path);
+}
+
+void write_npy(const std::string& path, const Grid2D<CFloat>& image) {
+  write_npy_raw(path, image.data(),
+                static_cast<std::size_t>(image.size()) * sizeof(CFloat),
+                "<c8", image.width(), image.height());
+}
+
+void write_npy(const std::string& path, const Grid2D<float>& image) {
+  write_npy_raw(path, image.data(),
+                static_cast<std::size_t>(image.size()) * sizeof(float), "<f4",
+                image.width(), image.height());
+}
+
+Grid2D<CFloat> read_npy(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ensure(in.good(), "read_npy: cannot open " + path);
+  char magic[6];
+  in.read(magic, 6);
+  ensure(in.good() && std::memcmp(magic, "\x93NUMPY", 6) == 0,
+         "read_npy: not an NPY file: " + path);
+  char version[2];
+  in.read(version, 2);
+  ensure(version[0] == 1, "read_npy: unsupported NPY version");
+  unsigned char len_bytes[2];
+  in.read(reinterpret_cast<char*>(len_bytes), 2);
+  const std::size_t hlen = static_cast<std::size_t>(len_bytes[0]) |
+                           (static_cast<std::size_t>(len_bytes[1]) << 8);
+  std::string header(hlen, '\0');
+  in.read(header.data(), static_cast<std::streamsize>(hlen));
+  ensure(header.find("'<c8'") != std::string::npos,
+         "read_npy: expected complex64 data");
+  ensure(header.find("False") != std::string::npos,
+         "read_npy: expected C-order data");
+  const auto shape_pos = header.find("'shape': (");
+  ensure(shape_pos != std::string::npos, "read_npy: malformed header");
+  Index height = 0;
+  Index width = 0;
+  std::sscanf(header.c_str() + shape_pos, "'shape': (%td, %td)", &height,
+              &width);
+  ensure(width > 0 && height > 0, "read_npy: bad shape");
+  Grid2D<CFloat> image(width, height);
+  in.read(reinterpret_cast<char*>(image.data()),
+          static_cast<std::streamsize>(static_cast<std::size_t>(image.size()) *
+                                       sizeof(CFloat)));
+  ensure(in.good(), "read_npy: truncated data in " + path);
+  return image;
+}
+
+}  // namespace sarbp::io

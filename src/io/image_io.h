@@ -1,0 +1,34 @@
+// Image export/import: 8-bit PGM renderings (magnitude, optionally
+// log-compressed — the B-display convention) for quick inspection, and
+// NumPy .npy (complex64) for quantitative work in Python.
+#pragma once
+
+#include <string>
+
+#include "common/grid2d.h"
+#include "common/types.h"
+
+namespace sarbp::io {
+
+struct PgmOptions {
+  /// Log-compress magnitudes over this dynamic range (dB) below the peak;
+  /// 0 = linear scaling.
+  double dynamic_range_db = 40.0;
+};
+
+/// Writes the magnitude image as binary PGM (P5). Throws on I/O failure.
+void write_pgm(const std::string& path, const Grid2D<CFloat>& image,
+               const PgmOptions& options = {});
+
+/// Writes a complex image as NumPy .npy, dtype complex64, C order,
+/// shape (height, width).
+void write_npy(const std::string& path, const Grid2D<CFloat>& image);
+
+/// Reads a complex64 .npy written by write_npy (same restrictions: 2D,
+/// C order, little endian).
+Grid2D<CFloat> read_npy(const std::string& path);
+
+/// Writes a real image (e.g. a CCD correlation map) as float32 .npy.
+void write_npy(const std::string& path, const Grid2D<float>& image);
+
+}  // namespace sarbp::io

@@ -1,0 +1,25 @@
+#include "offload/device.h"
+
+namespace sarbp::offload {
+
+DeviceSpec xeon_e5_2670_dual() {
+  DeviceSpec spec;
+  spec.name = "xeon-e5-2670-2s";
+  spec.peak_gflops = 660.0;
+  spec.flop_efficiency = 0.42;
+  spec.pcie_gbps = 0.0;
+  spec.is_host = true;
+  return spec;
+}
+
+DeviceSpec knights_corner() {
+  DeviceSpec spec;
+  spec.name = "knights-corner";
+  spec.peak_gflops = 1920.0;
+  spec.flop_efficiency = 0.28;
+  spec.pcie_gbps = 6.0;  // realized throughput reported in §5.3
+  spec.is_host = false;
+  return spec;
+}
+
+}  // namespace sarbp::offload

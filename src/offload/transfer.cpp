@@ -1,0 +1,44 @@
+#include "offload/transfer.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace sarbp::offload {
+
+AsyncTransferEngine::AsyncTransferEngine(double bandwidth_gbps,
+                                         std::size_t queue_depth)
+    : bandwidth_gbps_(bandwidth_gbps), queue_(queue_depth) {
+  ensure(bandwidth_gbps > 0, "AsyncTransferEngine: bandwidth must be positive");
+  thread_ = std::thread([this] { worker(); });
+}
+
+AsyncTransferEngine::~AsyncTransferEngine() {
+  queue_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+TransferHandle AsyncTransferEngine::submit(std::span<const std::byte> src,
+                                           std::span<std::byte> dst) {
+  ensure(src.size() == dst.size(), "AsyncTransferEngine: size mismatch");
+  Job job;
+  job.src = src;
+  job.dst = dst;
+  std::shared_future<double> future = job.done.get_future().share();
+  ensure(queue_.push(std::move(job)),
+         "AsyncTransferEngine: engine already shut down");
+  return TransferHandle(future);
+}
+
+void AsyncTransferEngine::worker() {
+  while (auto job = queue_.pop()) {
+    if (!job->src.empty()) {
+      std::memcpy(job->dst.data(), job->src.data(), job->src.size());
+    }
+    const double modeled_seconds =
+        static_cast<double>(job->src.size()) / (bandwidth_gbps_ * 1e9);
+    job->done.set_value(modeled_seconds);
+  }
+}
+
+}  // namespace sarbp::offload

@@ -1,0 +1,77 @@
+#include "perfmodel/flops.h"
+
+#include <cmath>
+
+#include "backprojection/kernel.h"
+#include "common/check.h"
+#include "signal/fft.h"
+
+namespace sarbp::perfmodel {
+
+double backprojection_flops(Index pulses, Index ix, Index iy) {
+  return bp::kFlopsPerBackprojection * static_cast<double>(pulses) *
+         static_cast<double>(ix) * static_cast<double>(iy);
+}
+
+double fft2d_flops(Index n) {
+  ensure(n > 0, "fft2d_flops: size must be positive");
+  return 10.0 * static_cast<double>(n) * static_cast<double>(n) *
+         std::log2(static_cast<double>(n));
+}
+
+double registration_correlation_flops(Index control_points, Index sc) {
+  const auto pad = static_cast<Index>(
+      signal::Fft<double>::next_power_of_two(static_cast<std::size_t>(2 * sc)));
+  return static_cast<double>(control_points) * 3.0 * fft2d_flops(pad);
+}
+
+double registration_interp_flops(Index ix, Index iy) {
+  return 54.0 * static_cast<double>(ix) * static_cast<double>(iy);
+}
+
+double ccd_flops(Index ncor, Index ix, Index iy) {
+  return 20.0 * 2.0 * static_cast<double>(ncor) * static_cast<double>(ix) *
+         static_cast<double>(iy);
+}
+
+double cfar_flops(Index ncfar, Index candidates) {
+  return 4.0 * static_cast<double>(ncfar) * static_cast<double>(ncfar) *
+         static_cast<double>(candidates);
+}
+
+MemoryRequirements memory_requirements(const HighEndScenario& s) {
+  const double image_bytes = static_cast<double>(s.image) *
+                             static_cast<double>(s.image) * 8.0;  // complex64
+  const double batch_pulses_bytes = static_cast<double>(s.new_pulses) *
+                                    static_cast<double>(s.samples_per_pulse) *
+                                    8.0;
+  const double k1 = static_cast<double>(s.accumulation_factor + 1);
+  MemoryRequirements m;
+  // Direct (no incremental buffer): all (k+1)N pulses resident for the
+  // recompute, plus a double-buffered output image.
+  m.direct_gb = (k1 * batch_pulses_bytes + 2.0 * image_bytes) / 1e9;
+  // Incremental: k+1 stored batch images (the circular buffer), the
+  // current/reference working image, and a double-buffered pulse batch.
+  m.incremental_gb =
+      (k1 * image_bytes + image_bytes + 2.0 * batch_pulses_bytes) / 1e9;
+  m.coprocessors_for_memory =
+      static_cast<int>(std::ceil(m.incremental_gb / 8.0));
+  // Footnote 3's compute side: "more than 182 are required for 351 TFLOPS
+  // ... even assuming 100% FLOP efficiency (1,920 GFLOPS per Xeon Phi)".
+  m.coprocessors_for_compute = static_cast<int>(
+      std::ceil(compute_requirements(s).total_tflops() * 1000.0 / 1920.0));
+  return m;
+}
+
+ComputeRequirements compute_requirements(const HighEndScenario& s) {
+  ComputeRequirements r;
+  r.backprojection_tflops =
+      backprojection_flops(s.new_pulses, s.image, s.image) / 1e12;
+  r.correlation_tflops =
+      registration_correlation_flops(s.control_points, s.sc) / 1e12;
+  r.interpolation_tflops = registration_interp_flops(s.image, s.image) / 1e12;
+  r.ccd_tflops = ccd_flops(s.ncor, s.image, s.image) / 1e12;
+  return r;
+}
+
+}  // namespace sarbp::perfmodel

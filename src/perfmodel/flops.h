@@ -1,0 +1,81 @@
+// FLOP-count formulas of the paper's evaluation:
+//  - 38 FLOPs per backprojection (§5.2.2),
+//  - 10 n^2 log2(n) per n x n 2D FFT (§5.4),
+//  - 54 FLOPs per bilinear interpolation (§5.4),
+//  - 20 FLOPs per dropped/obtained value in incremental CCD, 2*Ncor values
+//    per pixel (footnote 7),
+// plus the Table 1 high-end-scenario requirement calculator built on them.
+#pragma once
+
+#include "common/types.h"
+
+namespace sarbp::perfmodel {
+
+/// FLOPs of backprojecting `pulses` pulses onto an ix x iy image.
+double backprojection_flops(Index pulses, Index ix, Index iy);
+
+/// FLOPs of one n x n complex 2D FFT (paper model: 10 n^2 log2 n).
+double fft2d_flops(Index n);
+
+/// Registration correlation cost: `control_points` patch correlations,
+/// each three 2D FFTs (two forward, one inverse) at the zero-padded size
+/// next_pow2(2*sc).
+double registration_correlation_flops(Index control_points, Index sc);
+
+/// Registration resampling: one 54-FLOP bilinear interpolation per pixel.
+double registration_interp_flops(Index ix, Index iy);
+
+/// Incremental CCD: 20 FLOPs for each of the 2*ncor dropped/obtained
+/// values per pixel.
+double ccd_flops(Index ncor, Index ix, Index iy);
+
+/// CFAR: one window pass per below-threshold candidate (paper:
+/// Theta(Ncfar * Nd)); ~4 FLOPs per window cell visited.
+double cfar_flops(Index ncfar, Index candidates);
+
+/// Paper Table 1: the high-end persistent-surveillance input.
+struct HighEndScenario {
+  Index new_pulses = 2809;         ///< N (quoted as 3K; 2,809 per §5.1)
+  Index samples_per_pulse = 81000; ///< S
+  Index image = 57000;             ///< Ix = Iy
+  int accumulation_factor = 34;    ///< k
+  Index control_points = 929000;   ///< Nc
+  Index sc = 31;                   ///< registration neighbourhood
+  Index ncor = 25;                 ///< CCD neighbourhood
+  Index ncfar = 25;                ///< CFAR neighbourhood
+};
+
+/// Per-stage compute requirement in TFLOPs per output image (= TFLOPS under
+/// the one-image-per-second real-time constraint) — regenerates the bottom
+/// block of Table 1.
+struct ComputeRequirements {
+  double backprojection_tflops = 0.0;
+  double correlation_tflops = 0.0;  ///< registration 2D correlations
+  double interpolation_tflops = 0.0;
+  double ccd_tflops = 0.0;
+
+  [[nodiscard]] double total_tflops() const {
+    return backprojection_tflops + correlation_tflops +
+           interpolation_tflops + ccd_tflops;
+  }
+  [[nodiscard]] double backprojection_fraction() const {
+    return backprojection_tflops / total_tflops();
+  }
+};
+
+ComputeRequirements compute_requirements(const HighEndScenario& scenario);
+
+/// Paper footnote 3: the memory cost of incremental backprojection.
+/// "the memory capacity requirements will increase from 100 to 948 GB,
+/// where double buffering for pipelining is taken into account. This
+/// requires 119 Xeon Phis, assuming 8 GB GDDR each."
+struct MemoryRequirements {
+  double direct_gb = 0.0;       ///< recompute-every-frame organization
+  double incremental_gb = 0.0;  ///< circular-buffer organization
+  int coprocessors_for_memory = 0;  ///< 8 GB GDDR cards to hold it
+  int coprocessors_for_compute = 0; ///< cards needed for 351 TFLOPS at peak
+};
+
+MemoryRequirements memory_requirements(const HighEndScenario& scenario);
+
+}  // namespace sarbp::perfmodel

@@ -1,0 +1,98 @@
+#include "perfmodel/projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "perfmodel/flops.h"
+
+namespace sarbp::perfmodel {
+
+Index samples_for_image(Index image) {
+  // Table 4: S/Ix ~ 1.33-1.5 (4K/3K ... 19K/13K). The range swath grows
+  // with the scene edge; 1.45 reproduces the table's S column closely.
+  return static_cast<Index>(std::llround(1.45 * static_cast<double>(image)));
+}
+
+int accumulation_for_image(Index image) {
+  // Table 4/5: k = 2 at 3K up to 33 at 54K; ~0.65 per 1K of image edge.
+  return std::max(1, static_cast<int>(std::llround(
+                         0.65 * static_cast<double>(image) / 1000.0)));
+}
+
+Index control_points_for_image(Index image) {
+  // Table 1: Nc = 929K at 57K x 57K; control-point density is constant, so
+  // Nc scales with image area.
+  const double density = 929000.0 / (57000.0 * 57000.0);
+  return static_cast<Index>(std::llround(
+      density * static_cast<double>(image) * static_cast<double>(image)));
+}
+
+ScalingPoint evaluate_point(const NodeModel& model, Index nodes,
+                            Index image) {
+  ensure(nodes >= 1 && image >= 1, "evaluate_point: bad arguments");
+  ScalingPoint p;
+  p.nodes = nodes;
+  p.image = image;
+  p.samples = samples_for_image(image);
+  p.accumulation = accumulation_for_image(image);
+
+  const double nodes_d = static_cast<double>(nodes);
+  const double bp_rate = model.peak_gflops * 1e9 * model.bp_efficiency;
+  const double fft_rate = model.peak_gflops * 1e9 * model.fft_efficiency;
+
+  // Per-node compute times (work is area-partitioned evenly).
+  p.t_backprojection =
+      backprojection_flops(model.new_pulses, image, image) / nodes_d / bp_rate;
+  const double reg_fft =
+      registration_correlation_flops(control_points_for_image(image),
+                                     /*sc=*/31) / nodes_d;
+  const double reg_interp =
+      registration_interp_flops(image, image) / nodes_d;
+  p.t_registration = reg_fft / fft_rate + reg_interp / bp_rate;
+  p.t_ccd = ccd_flops(/*ncor=*/25, image, image) / nodes_d / bp_rate;
+
+  // Transfers (overlapped; reported for the breakdown columns).
+  const auto volumes = cluster::communication_volumes(
+      nodes, image, model.new_pulses, p.samples, 31, 25, 25);
+  p.t_pcie = (volumes.pulse_scatter_bytes + volumes.image_exchange_bytes) /
+             (model.pcie_gbps * 1e9);
+  p.t_mpi = model.interconnect.mpi_seconds(volumes.pulse_scatter_bytes +
+                                           volumes.boundary_bytes +
+                                           volumes.image_exchange_bytes);
+  p.t_disk = model.interconnect.disk_seconds(volumes.disk_bytes);
+
+  const double backprojections = static_cast<double>(model.new_pulses) *
+                                 static_cast<double>(image) *
+                                 static_cast<double>(image);
+  p.throughput_bp_per_s = backprojections / p.frame_seconds();
+  // Efficiency vs pure-backprojection scaling: the fraction of the frame
+  // the nodes spend on backprojection itself.
+  p.parallel_efficiency = p.t_backprojection / p.frame_seconds();
+  return p;
+}
+
+Index largest_realtime_image(const NodeModel& model, Index nodes,
+                             Index step) {
+  ensure(step >= 1, "largest_realtime_image: bad step");
+  Index best = step;
+  for (Index image = step;; image += step) {
+    const ScalingPoint p = evaluate_point(model, nodes, image);
+    if (p.frame_seconds() > 1.0) break;
+    best = image;
+  }
+  return best;
+}
+
+std::vector<ScalingPoint> weak_scaling_projection(
+    const NodeModel& model, std::span<const Index> node_counts) {
+  std::vector<ScalingPoint> points;
+  points.reserve(node_counts.size());
+  for (Index nodes : node_counts) {
+    const Index image = largest_realtime_image(model, nodes);
+    points.push_back(evaluate_point(model, nodes, image));
+  }
+  return points;
+}
+
+}  // namespace sarbp::perfmodel

@@ -1,0 +1,76 @@
+// Multi-node analytic projection (paper §5.4 / Table 5): estimates, for a
+// node count, the largest image that satisfies the one-image-per-second
+// real-time constraint and the resulting per-stage time breakdown.
+//
+// Exactly the paper's method: "The compute time of each component is
+// estimated as (FLOPS required)/((Processors' ideal peak FLOPS) x (FLOP
+// efficiency)). The FLOP efficiency of the 2D-FFTs used in the registration
+// step is assumed to be 10%. Other stages' FLOP efficiencies are assumed to
+// be same as that of backprojection ... each node can realize 6 GB/s PCIe
+// and 2 GB/s MPI, and 200 MB/s disk I/O bandwidth."
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/torus_model.h"
+#include "common/types.h"
+
+namespace sarbp::perfmodel {
+
+struct NodeModel {
+  /// Xeon (660) + 2x Xeon Phi (1,920 each) ideal peak, GFLOP/s.
+  double peak_gflops = 660.0 + 2.0 * 1920.0;
+  /// Backprojection FLOP efficiency of the combined node (Table 3).
+  double bp_efficiency = 0.30;
+  /// 2D-FFT efficiency assumption (§5.4).
+  double fft_efficiency = 0.10;
+  double pcie_gbps = 6.0;
+  cluster::InterconnectModel interconnect;
+  Index new_pulses = 2809;  ///< N is fixed across the weak-scaling sweep
+};
+
+/// Scenario scaling rules observed in Tables 4/5: samples per pulse and the
+/// accumulation factor grow with the image edge.
+Index samples_for_image(Index image);
+int accumulation_for_image(Index image);
+Index control_points_for_image(Index image);
+
+/// One weak-scaling row.
+struct ScalingPoint {
+  Index nodes = 0;
+  Index image = 0;       ///< Ix = Iy
+  Index samples = 0;     ///< S
+  int accumulation = 0;  ///< k
+  double throughput_bp_per_s = 0.0;
+  double parallel_efficiency = 0.0;  ///< vs nodes x single-node throughput
+  // Per-node, per-image times (seconds; real-time budget is 1 s).
+  double t_backprojection = 0.0;
+  double t_registration = 0.0;
+  double t_ccd = 0.0;
+  double t_pcie = 0.0;
+  double t_mpi = 0.0;
+  double t_disk = 0.0;
+
+  [[nodiscard]] double frame_seconds() const {
+    // PCIe/MPI/disk overlap with compute (§4.1): the frame critical path is
+    // the compute chain, as long as every transfer fits under it — which
+    // the projection verifies by reporting the transfer times separately.
+    return t_backprojection + t_registration + t_ccd;
+  }
+};
+
+/// Evaluates the model at a given (nodes, image) point.
+ScalingPoint evaluate_point(const NodeModel& model, Index nodes, Index image);
+
+/// Largest image (multiple of `step`) whose frame time fits in 1 s.
+Index largest_realtime_image(const NodeModel& model, Index nodes,
+                             Index step = 1000);
+
+/// Full weak-scaling sweep: for each node count, size the image to the
+/// real-time constraint and evaluate — regenerates Table 4 (1-16 nodes,
+/// model side) and Table 5 (32-256 nodes).
+std::vector<ScalingPoint> weak_scaling_projection(
+    const NodeModel& model, std::span<const Index> node_counts);
+
+}  // namespace sarbp::perfmodel

@@ -1,0 +1,239 @@
+#include "pfa/pfa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/check.h"
+#include "signal/fft.h"
+#include "signal/fft2d.h"
+
+namespace sarbp::pfa {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Per-pulse polar geometry: ground look direction and ranges.
+struct PulseGeometry {
+  double theta = 0.0;        ///< ground angle of the scene->radar direction
+  double cos_grazing = 0.0;  ///< |ground component| of the unit direction
+  double range = 0.0;        ///< slant range to the scene centre
+  double start_range = 0.0;  ///< r0 of the recorded window
+};
+
+std::vector<PulseGeometry> pulse_geometry(const sim::PhaseHistory& history,
+                                          const geometry::ImageGrid& grid,
+                                          bool assume_ideal) {
+  const Index n = history.num_pulses();
+  std::vector<PulseGeometry> geo(static_cast<std::size_t>(n));
+  // Nominal-orbit fit (what an idealizing processor would assume): constant
+  // slant range / grazing from the first pulse, uniform angular steps
+  // between the first and last recorded angles.
+  const geometry::Vec3 first =
+      history.meta(0).position - grid.centre();
+  const geometry::Vec3 last =
+      history.meta(n - 1).position - grid.centre();
+  const double theta_first = std::atan2(first.y, first.x);
+  const double theta_last = std::atan2(last.y, last.x);
+  const double r_nominal = first.norm();
+  const double cosg_nominal = std::hypot(first.x, first.y) / first.norm();
+
+  for (Index p = 0; p < n; ++p) {
+    PulseGeometry& g = geo[static_cast<std::size_t>(p)];
+    g.start_range = history.meta(p).start_range_m;
+    if (assume_ideal) {
+      const double f = n > 1 ? static_cast<double>(p) /
+                                   static_cast<double>(n - 1)
+                             : 0.0;
+      g.theta = theta_first + f * (theta_last - theta_first);
+      g.range = r_nominal;
+      g.cos_grazing = cosg_nominal;
+    } else {
+      const geometry::Vec3 d = history.meta(p).position - grid.centre();
+      g.theta = std::atan2(d.y, d.x);
+      g.range = d.norm();
+      g.cos_grazing = std::hypot(d.x, d.y) / d.norm();
+    }
+  }
+  return geo;
+}
+
+}  // namespace
+
+PolarFormatter::PolarFormatter(const geometry::ImageGrid& grid,
+                               PfaParams params)
+    : grid_(grid), params_(params) {
+  ensure(params_.kspace_fill > 0.0 && params_.kspace_fill <= 1.0,
+         "PolarFormatter: kspace_fill in (0, 1]");
+}
+
+Grid2D<CFloat> PolarFormatter::form_image(
+    const sim::PhaseHistory& history) const {
+  const Index pulses = history.num_pulses();
+  const Index samples = history.samples_per_pulse();
+  ensure(pulses >= 2, "PolarFormatter: need at least two pulses");
+  const double dr = history.bin_spacing();
+  const double k_carrier = kTwoPi * history.wavenumber();  // rad/m two-way
+
+  const auto geo = pulse_geometry(history, grid_, params_.assume_ideal_trajectory);
+
+  // --- 1. Per-pulse spectra with scene-centre motion compensation.
+  // Spectrum bin m (signed) sits at radial offset kappa_m = 2*pi*m/(S*dr);
+  // after compensation the sample is the scene spectrum at radial
+  // wavenumber k_r = k_carrier + kappa_m along the pulse's look direction.
+  const signal::Fft<double> fft(static_cast<std::size_t>(samples));
+  Grid2D<CDouble> spectra(samples, pulses);  // x: bin (signed, fftshifted later)
+  std::vector<CDouble> work(static_cast<std::size_t>(samples));
+  for (Index p = 0; p < pulses; ++p) {
+    const auto profile = history.pulse(p);
+    for (Index i = 0; i < samples; ++i) {
+      const CFloat v = profile[static_cast<std::size_t>(i)];
+      work[static_cast<std::size_t>(i)] = CDouble(v.real(), v.imag());
+    }
+    fft.forward(work);
+    const PulseGeometry& g = geo[static_cast<std::size_t>(p)];
+    for (Index m = 0; m < samples; ++m) {
+      const Index signed_m = m < samples / 2 ? m : m - samples;
+      const double kappa = kTwoPi * static_cast<double>(signed_m) /
+                           (static_cast<double>(samples) * dr);
+      const double k_r = k_carrier + kappa;
+      // Compensation: remove the window-origin phase (kappa * r0) and the
+      // scene-centre range phase (k_r * R_j); see DESIGN.md / pfa.h.
+      const double phase = -kappa * g.start_range + k_r * g.range;
+      const CDouble c{std::cos(phase), std::sin(phase)};
+      spectra.at(m, p) = work[static_cast<std::size_t>(m)] * c;
+    }
+  }
+
+  // --- 2. Rectangular K-space grid inscribed in the sampled sector,
+  // in the mid-aperture rotated frame (k_xi radial, k_eta cross).
+  const double radial_halfband =
+      kTwoPi * static_cast<double>(samples / 2) /
+      (static_cast<double>(samples) * dr) * params_.kspace_fill;
+  double theta_min = geo.front().theta;
+  double theta_max = geo.back().theta;
+  if (theta_min > theta_max) std::swap(theta_min, theta_max);
+  const double theta_c = 0.5 * (theta_min + theta_max);
+  const double cosg_c = geo[geo.size() / 2].cos_grazing;
+  const double k_centre = k_carrier * cosg_c;
+  const double half_angle =
+      0.5 * (theta_max - theta_min) * params_.kspace_fill;
+
+  const Index n = std::max(grid_.width(), grid_.height());
+  const double dk_xi = 2.0 * radial_halfband * cosg_c / static_cast<double>(n);
+  const double dk_eta =
+      2.0 * k_centre * std::sin(half_angle) / static_cast<double>(n);
+  ensure(dk_xi > 0.0 && dk_eta > 0.0,
+         "PolarFormatter: degenerate K-space sector");
+
+  // --- 3. Polar -> rect resampling (bilinear in pulse-angle x radial-bin).
+  const auto taper_1d = signal::make_window(params_.taper,
+                                            static_cast<std::size_t>(n));
+  Grid2D<CDouble> rect(n, n);
+  const double theta0 = geo.front().theta;
+  const double theta1 = geo.back().theta;
+  for (Index q = 0; q < n; ++q) {
+    const double k_eta =
+        (static_cast<double>(q) - 0.5 * static_cast<double>(n - 1)) * dk_eta;
+    for (Index p = 0; p < n; ++p) {
+      const double k_xi =
+          k_centre +
+          (static_cast<double>(p) - 0.5 * static_cast<double>(n - 1)) * dk_xi;
+      const double rho = std::hypot(k_xi, k_eta);
+      const double theta = theta_c + std::atan2(k_eta, k_xi);
+      // Fractional pulse index: invert the (monotone) angle sequence with
+      // a linear map, good to first order for near-uniform sampling.
+      const double tf = (theta - theta0) / (theta1 - theta0) *
+                        static_cast<double>(pulses - 1);
+      if (!(tf >= 0.0) || tf > static_cast<double>(pulses - 1)) continue;
+      const auto j0 = static_cast<Index>(tf);
+      const Index j1 = std::min(j0 + 1, pulses - 1);
+      const double ft = tf - static_cast<double>(j0);
+
+      CDouble acc{};
+      double weight = 0.0;
+      for (const auto& [j, wj] : {std::pair{j0, 1.0 - ft}, {j1, ft}}) {
+        if (wj <= 0.0) continue;
+        const PulseGeometry& g = geo[static_cast<std::size_t>(j)];
+        // Radial bin: rho = (k_carrier + kappa) * cos_grazing.
+        const double kappa = rho / g.cos_grazing - k_carrier;
+        const double mf = kappa * static_cast<double>(samples) * dr / kTwoPi;
+        if (!(mf > -static_cast<double>(samples / 2 - 1)) ||
+            mf > static_cast<double>(samples / 2 - 2)) {
+          continue;
+        }
+        const double mfloor = std::floor(mf);
+        const auto m0 = static_cast<Index>(mfloor);
+        const double fm = mf - mfloor;
+        auto at_signed = [&](Index sm) {
+          return spectra.at((sm % samples + samples) % samples, j);
+        };
+        acc += wj * ((1.0 - fm) * at_signed(m0) + fm * at_signed(m0 + 1));
+        weight += wj;
+      }
+      if (weight > 0.0) {
+        rect.at(p, q) = acc / weight *
+                        (taper_1d[static_cast<std::size_t>(p)] *
+                         taper_1d[static_cast<std::size_t>(q)]);
+      }
+    }
+  }
+
+  // --- 4. 2D transform to the rotated image frame. The compensated
+  // samples are G(k) = sum a e^{+i k . u}, so a forward FFT (e^{-i})
+  // focuses the image; sample s maps to offset xi = 2*pi*s/(n*dk).
+  signal::Fft2D<double> fft2(n, n);
+  fft2.forward(rect);
+
+  // --- 5. Resample the rotated image onto the requested scene grid.
+  const double span_xi = kTwoPi / dk_xi;   // unambiguous extent along xi
+  const double span_eta = kTwoPi / dk_eta;
+  const double ex_c = std::cos(theta_c);
+  const double ey_c = std::sin(theta_c);
+  Grid2D<CFloat> out(grid_.width(), grid_.height());
+  for (Index y = 0; y < grid_.height(); ++y) {
+    for (Index x = 0; x < grid_.width(); ++x) {
+      const geometry::Vec3 pos = grid_.position(x, y);
+      const double ux = pos.x - grid_.centre().x;
+      const double uy = pos.y - grid_.centre().y;
+      // Rotated coordinates: xi toward the radar (range), eta cross-range.
+      const double xi = ux * ex_c + uy * ey_c;
+      const double eta = -ux * ey_c + uy * ex_c;
+      // FFT output sample s corresponds to xi = 2*pi*s/(n*dk_xi) modulo the
+      // span; map and bilinearly interpolate (with wraparound).
+      const double sf =
+          (xi / span_xi + 1.0) * static_cast<double>(n);  // +1: positive wrap
+      const double tf2 = (eta / span_eta + 1.0) * static_cast<double>(n);
+      const double s_m = std::fmod(sf, static_cast<double>(n));
+      const double t_m = std::fmod(tf2, static_cast<double>(n));
+      const auto s0 = static_cast<Index>(s_m);
+      const auto t0 = static_cast<Index>(t_m);
+      const double fs = s_m - static_cast<double>(s0);
+      const double ft2 = t_m - static_cast<double>(t0);
+      auto wrap_at = [&](Index s, Index t) {
+        return rect.at(s % n, t % n);
+      };
+      const CDouble v = (1.0 - fs) * (1.0 - ft2) * wrap_at(s0, t0) +
+                        fs * (1.0 - ft2) * wrap_at(s0 + 1, t0) +
+                        (1.0 - fs) * ft2 * wrap_at(s0, t0 + 1) +
+                        fs * ft2 * wrap_at(s0 + 1, t0 + 1);
+      out.at(x, y) = CFloat(static_cast<float>(v.real()),
+                            static_cast<float>(v.imag()));
+    }
+  }
+  return out;
+}
+
+double pfa_flops(Index pulses, Index samples, Index image) {
+  const double fft_1d = 5.0 * static_cast<double>(samples) *
+                        std::log2(static_cast<double>(samples));
+  const double resample = 20.0 * static_cast<double>(image) *
+                          static_cast<double>(image);
+  const double fft_2d = 10.0 * static_cast<double>(image) *
+                        static_cast<double>(image) *
+                        std::log2(static_cast<double>(image));
+  return static_cast<double>(pulses) * fft_1d + resample + fft_2d;
+}
+
+}  // namespace sarbp::pfa

@@ -1,0 +1,70 @@
+#include "pipeline/affine.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sarbp::pipeline {
+namespace {
+
+/// Gaussian elimination with partial pivoting for the 3x3 normal system.
+std::array<double, 3> solve3(std::array<std::array<double, 3>, 3> a,
+                             std::array<double, 3> b) {
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    ensure(std::abs(a[col][col]) > 1e-12,
+           "fit_affine: degenerate control-point configuration");
+    for (int row = col + 1; row < 3; ++row) {
+      const double f = a[row][col] / a[col][col];
+      for (int k = col; k < 3; ++k) a[row][k] -= f * a[col][k];
+      b[row] -= f * b[col];
+    }
+  }
+  std::array<double, 3> x{};
+  for (int row = 2; row >= 0; --row) {
+    double acc = b[row];
+    for (int k = row + 1; k < 3; ++k) acc -= a[row][k] * x[k];
+    x[row] = acc / a[row][row];
+  }
+  return x;
+}
+
+}  // namespace
+
+AffineTransform fit_affine(std::span<const ControlPointMatch> matches) {
+  ensure(matches.size() >= 3, "fit_affine: need at least 3 control points");
+  // Normal matrix of the design [x y 1] with per-match weights; shared by
+  // both the x'- and y'-row systems.
+  std::array<std::array<double, 3>, 3> n{};
+  std::array<double, 3> bx{};
+  std::array<double, 3> by{};
+  for (const auto& m : matches) {
+    const double w = m.confidence;
+    const double row[3] = {m.x, m.y, 1.0};
+    const double target_x = m.x + m.dx;
+    const double target_y = m.y + m.dy;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) n[i][j] += w * row[i] * row[j];
+      bx[static_cast<std::size_t>(i)] += w * row[i] * target_x;
+      by[static_cast<std::size_t>(i)] += w * row[i] * target_y;
+    }
+  }
+  const auto solx = solve3(n, bx);
+  const auto soly = solve3(n, by);
+  AffineTransform t;
+  t.axx = solx[0];
+  t.axy = solx[1];
+  t.tx = solx[2];
+  t.ayx = soly[0];
+  t.ayy = soly[1];
+  t.ty = soly[2];
+  return t;
+}
+
+}  // namespace sarbp::pipeline

@@ -1,0 +1,49 @@
+// 2D affine transform with least-squares estimation — the registration
+// stage's "transformation that matches the current image closely to the
+// reference image ... solving linear systems via normal equations with six
+// unknowns" (paper §2).
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace sarbp::pipeline {
+
+/// x' = axx*x + axy*y + tx;  y' = ayx*x + ayy*y + ty.
+struct AffineTransform {
+  double axx = 1.0, axy = 0.0, tx = 0.0;
+  double ayx = 0.0, ayy = 1.0, ty = 0.0;
+
+  [[nodiscard]] static AffineTransform identity() { return {}; }
+
+  void apply(double x, double y, double& out_x, double& out_y) const {
+    out_x = axx * x + axy * y + tx;
+    out_y = ayx * x + ayy * y + ty;
+  }
+
+  /// Pure-translation constructor.
+  [[nodiscard]] static AffineTransform translation(double dx, double dy) {
+    AffineTransform t;
+    t.tx = dx;
+    t.ty = dy;
+    return t;
+  }
+};
+
+/// One matched control point: position in the current image and the
+/// displacement that aligns it with the reference.
+struct ControlPointMatch {
+  double x = 0.0;
+  double y = 0.0;
+  double dx = 0.0;
+  double dy = 0.0;
+  double confidence = 1.0;  ///< correlation-peak quality in [0, 1]
+};
+
+/// Weighted least-squares affine fit via the 6-unknown normal equations
+/// (two independent 3x3 systems). Requires >= 3 non-collinear matches;
+/// throws PreconditionError otherwise.
+AffineTransform fit_affine(std::span<const ControlPointMatch> matches);
+
+}  // namespace sarbp::pipeline

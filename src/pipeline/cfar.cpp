@@ -1,0 +1,60 @@
+#include "pipeline/cfar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sarbp::pipeline {
+
+CfarResult cfar_detect(const Grid2D<float>& correlation,
+                       const CfarParams& params) {
+  ensure(params.window % 2 == 1 && params.window >= 3,
+         "cfar: window must be odd and >= 3");
+  ensure(params.guard % 2 == 1 && params.guard >= 1 &&
+             params.guard < params.window,
+         "cfar: guard must be odd and smaller than the window");
+  const Index w = correlation.width();
+  const Index h = correlation.height();
+  const Index half = params.window / 2;
+  const Index ghalf = params.guard / 2;
+  const Index margin =
+      params.border_margin >= 0 ? params.border_margin : half;
+
+  CfarResult result;
+  for (Index y = margin; y < h - margin; ++y) {
+    for (Index x = margin; x < w - margin; ++x) {
+      const float gamma = correlation.at(x, y);
+      if (gamma >= params.candidate_correlation) continue;
+      ++result.candidates;
+
+      // Background: window ring outside the guard region, clipped to the
+      // image. This inner loop only runs for candidates — Theta(Ncfar Nd).
+      double background = 0.0;
+      Index count = 0;
+      for (Index wy = std::max<Index>(0, y - half);
+           wy <= std::min<Index>(h - 1, y + half); ++wy) {
+        for (Index wx = std::max<Index>(0, x - half);
+             wx <= std::min<Index>(w - 1, x + half); ++wx) {
+          if (std::abs(wx - x) <= ghalf && std::abs(wy - y) <= ghalf) continue;
+          background += 1.0 - static_cast<double>(correlation.at(wx, wy));
+          ++count;
+        }
+      }
+      if (count == 0) continue;
+      const double mean_background = std::max(1e-6, background / count);
+      const double statistic = (1.0 - gamma) / mean_background;
+      if (statistic > params.scale) {
+        Detection d;
+        d.x = x;
+        d.y = y;
+        d.correlation = gamma;
+        d.statistic = static_cast<float>(statistic);
+        result.detections.push_back(d);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sarbp::pipeline

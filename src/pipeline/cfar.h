@@ -1,0 +1,58 @@
+// Constant false alarm rate (CFAR) detection (paper §2): "identifies
+// differences between the current and reference images, while maintaining
+// a constant false alarm rate under certain statistical assumptions. Its
+// complexity is Theta(Ncfar Nd), where Nd denotes the number of pixels for
+// which the correlation value produced by CCD falls below a threshold; Nd
+// is typically substantially smaller than Ix x Iy."
+//
+// Cell-averaging CFAR on the decorrelation map d = 1 - gamma: a pixel is a
+// detection when its decorrelation exceeds `scale` times the mean
+// decorrelation of its local background ring (an Ncfar x Ncfar window minus
+// a guard region), evaluated only at candidate pixels (gamma below the
+// candidate threshold) — which is exactly where the Theta(Ncfar Nd) bound
+// comes from.
+#pragma once
+
+#include <vector>
+
+#include "common/grid2d.h"
+#include "common/types.h"
+
+namespace sarbp::pipeline {
+
+struct CfarParams {
+  /// Background window edge: the paper's Ncfar (25 in Table 1). Odd.
+  Index window = 25;
+  /// Guard region edge around the cell under test (excluded from the
+  /// background estimate so the change itself does not inflate it). Odd.
+  Index guard = 5;
+  /// Candidate threshold: only pixels with correlation below this are
+  /// tested (defines the paper's Nd).
+  double candidate_correlation = 0.8;
+  /// Detection when decorrelation > scale * background mean decorrelation.
+  double scale = 3.0;
+  /// Pixels within this margin of the image edge are never tested: their
+  /// clipped background windows (and the registration resampler's
+  /// zero-padding) bias the statistic. -1 = window/2.
+  Index border_margin = -1;
+};
+
+struct Detection {
+  Index x = 0;
+  Index y = 0;
+  float correlation = 0.0f;   ///< CCD value at the detection
+  float statistic = 0.0f;     ///< decorrelation / background mean
+
+  friend bool operator==(const Detection&, const Detection&) = default;
+};
+
+struct CfarResult {
+  std::vector<Detection> detections;
+  Index candidates = 0;  ///< the paper's Nd for this frame
+};
+
+/// Runs CA-CFAR over a CCD correlation map.
+CfarResult cfar_detect(const Grid2D<float>& correlation,
+                       const CfarParams& params);
+
+}  // namespace sarbp::pipeline

@@ -1,0 +1,112 @@
+#include "pipeline/pipeline.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace sarbp::pipeline {
+
+SurveillancePipeline::SurveillancePipeline(const geometry::ImageGrid& grid,
+                                           PipelineConfig config)
+    : grid_(grid),
+      config_(std::move(config)),
+      backprojector_(grid_, config_.backprojection),
+      registrar_(config_.registration),
+      pulse_queue_(config_.queue_depth),
+      image_queue_(config_.queue_depth),
+      result_queue_(config_.queue_depth + 2) {
+  bp_thread_ = std::thread([this] { backprojection_stage(); });
+  post_thread_ = std::thread([this] { post_processing_stage(); });
+}
+
+SurveillancePipeline::~SurveillancePipeline() {
+  close_input();
+  // Drain anything the consumer never collected so the stages can exit.
+  result_queue_.close();
+  if (bp_thread_.joinable()) bp_thread_.join();
+  if (post_thread_.joinable()) post_thread_.join();
+}
+
+bool SurveillancePipeline::push_pulses(sim::PhaseHistory batch) {
+  return pulse_queue_.push(std::move(batch));
+}
+
+std::optional<FrameResult> SurveillancePipeline::pop_result() {
+  return result_queue_.pop();
+}
+
+void SurveillancePipeline::close_input() { pulse_queue_.close(); }
+
+SectionTimes SurveillancePipeline::cumulative_stage_times() const {
+  std::lock_guard lock(times_mutex_);
+  return cumulative_times_;
+}
+
+void SurveillancePipeline::backprojection_stage() {
+  bp::IncrementalAccumulator accumulator(grid_.width(), grid_.height(),
+                                         config_.accumulation_factor);
+  Index frame = 0;
+  while (auto batch = pulse_queue_.pop()) {
+    FormedImage formed;
+    formed.frame = frame++;
+    Timer bp_timer;
+    Grid2D<CFloat> batch_image(grid_.width(), grid_.height());
+    backprojector_.add_pulses(*batch, batch_image);
+    formed.stage_seconds["backprojection"] = bp_timer.seconds();
+    Timer acc_timer;
+    accumulator.push(std::move(batch_image));
+    formed.image = accumulator.current();
+    formed.stage_seconds["accumulate"] = acc_timer.seconds();
+
+    {
+      std::lock_guard lock(times_mutex_);
+      for (const auto& [name, secs] : formed.stage_seconds) {
+        cumulative_times_.add(name, secs);
+      }
+    }
+    if (!image_queue_.push(std::move(formed))) break;
+  }
+  image_queue_.close();
+}
+
+void SurveillancePipeline::post_processing_stage() {
+  std::optional<Grid2D<CFloat>> reference;
+  while (auto formed = image_queue_.pop()) {
+    FrameResult result;
+    result.frame = formed->frame;
+    result.stage_seconds = std::move(formed->stage_seconds);
+
+    if (!reference.has_value()) {
+      reference = formed->image;
+      result.is_reference = true;
+      result.image = std::move(formed->image);
+    } else {
+      Timer reg_timer;
+      result.image =
+          registrar_.register_image(formed->image, *reference, &result.alignment);
+      result.stage_seconds["registration"] = reg_timer.seconds();
+
+      Timer ccd_timer;
+      result.correlation = ccd(result.image, *reference, config_.ccd);
+      result.stage_seconds["ccd"] = ccd_timer.seconds();
+
+      Timer cfar_timer;
+      result.cfar = cfar_detect(result.correlation, config_.cfar);
+      result.stage_seconds["cfar"] = cfar_timer.seconds();
+    }
+
+    {
+      std::lock_guard lock(times_mutex_);
+      for (const auto& name : {"registration", "ccd", "cfar"}) {
+        const auto it = result.stage_seconds.find(name);
+        if (it != result.stage_seconds.end()) {
+          cumulative_times_.add(name, it->second);
+        }
+      }
+    }
+    if (!result_queue_.push(std::move(result))) break;
+  }
+  result_queue_.close();
+}
+
+}  // namespace sarbp::pipeline

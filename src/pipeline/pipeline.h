@@ -1,0 +1,103 @@
+// The persistent-surveillance pipeline (paper Fig. 2 / Fig. 4):
+//
+//   pulses -> backprojection (+ incremental accumulation) -> registration
+//          -> CCD -> CFAR -> detections,
+//
+// run as a software pipeline: stages execute on their own threads and are
+// joined by bounded concurrent queues (§4.1), so pulse ingest for image
+// t+1 overlaps with image formation for image t and post-processing for
+// image t-1. The first completed image becomes the reference; every later
+// frame is registered against it before change detection.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "backprojection/accumulator.h"
+#include "backprojection/backprojector.h"
+#include "common/grid2d.h"
+#include "common/queue.h"
+#include "common/timer.h"
+#include "geometry/grid.h"
+#include "pipeline/cfar.h"
+#include "pipeline/ccd.h"
+#include "pipeline/registration.h"
+#include "sim/phase_history.h"
+
+namespace sarbp::pipeline {
+
+struct PipelineConfig {
+  bp::BackprojectOptions backprojection;
+  /// Accumulation factor k (paper §2): images combine the latest batch
+  /// with up to k earlier batch results.
+  int accumulation_factor = 2;
+  RegistrationParams registration;
+  CcdParams ccd;
+  CfarParams cfar;
+  /// Bounded-queue depth between stages (2 = classic double buffering).
+  std::size_t queue_depth = 2;
+};
+
+struct FrameResult {
+  Index frame = 0;
+  bool is_reference = false;        ///< first frame: defines the reference
+  Grid2D<CFloat> image;             ///< registered (aligned) image
+  AffineTransform alignment;        ///< fitted current->reference transform
+  Grid2D<float> correlation;        ///< CCD map (empty on reference frame)
+  CfarResult cfar;                  ///< detections (empty on reference frame)
+  std::map<std::string, double> stage_seconds;
+};
+
+class SurveillancePipeline {
+ public:
+  SurveillancePipeline(const geometry::ImageGrid& grid, PipelineConfig config);
+  ~SurveillancePipeline();
+
+  SurveillancePipeline(const SurveillancePipeline&) = delete;
+  SurveillancePipeline& operator=(const SurveillancePipeline&) = delete;
+
+  /// Feeds one pulse batch (one "second" of new pulses). Blocks on
+  /// backpressure. Returns false after close_input().
+  bool push_pulses(sim::PhaseHistory batch);
+
+  /// Retrieves the next completed frame; blocks; nullopt after the input
+  /// was closed and everything in flight has drained.
+  std::optional<FrameResult> pop_result();
+
+  /// Signals end of the pulse stream.
+  void close_input();
+
+  /// Wall-clock totals per stage, accumulated across all frames. Safe to
+  /// read after the pipeline has drained.
+  [[nodiscard]] SectionTimes cumulative_stage_times() const;
+
+ private:
+  struct FormedImage {
+    Index frame;
+    Grid2D<CFloat> image;
+    std::map<std::string, double> stage_seconds;
+  };
+
+  void backprojection_stage();
+  void post_processing_stage();
+
+  geometry::ImageGrid grid_;
+  PipelineConfig config_;
+  bp::Backprojector backprojector_;
+  Registrar registrar_;
+
+  BoundedQueue<sim::PhaseHistory> pulse_queue_;
+  BoundedQueue<FormedImage> image_queue_;
+  BoundedQueue<FrameResult> result_queue_;
+
+  mutable std::mutex times_mutex_;
+  SectionTimes cumulative_times_;
+
+  std::thread bp_thread_;
+  std::thread post_thread_;
+};
+
+}  // namespace sarbp::pipeline

@@ -1,0 +1,186 @@
+#include "quality/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace sarbp::quality {
+namespace {
+
+double magnitude(const Grid2D<CFloat>& image, Index x, Index y) {
+  const CFloat v = image.at(x, y);
+  return std::hypot(static_cast<double>(v.real()),
+                    static_cast<double>(v.imag()));
+}
+
+/// Linear-interpolated crossing of `level` between two samples.
+double crossing(double inner_pos, double inner_val, double outer_val,
+                double level, double direction) {
+  if (outer_val >= level || inner_val <= outer_val) {
+    return inner_pos + direction;  // no crossing found: one-sample fallback
+  }
+  const double frac = (inner_val - level) / (inner_val - outer_val);
+  return inner_pos + direction * frac;
+}
+
+/// -3 dB width of a 1D cut through the peak. `get(offset)` samples the
+/// magnitude at integer offsets from the peak.
+template <class Getter>
+double cut_width(Getter get, Index max_offset) {
+  const double peak = get(0);
+  const double level = peak / std::numbers::sqrt2;  // -3 dB in magnitude
+  double left = -1.0;
+  double right = 1.0;
+  for (Index off = 1; off <= max_offset; ++off) {
+    if (get(off) < level) {
+      right = crossing(static_cast<double>(off - 1), get(off - 1), get(off),
+                       level, +1.0);
+      break;
+    }
+  }
+  for (Index off = 1; off <= max_offset; ++off) {
+    if (get(-off) < level) {
+      left = crossing(-static_cast<double>(off - 1), get(-(off - 1)),
+                      get(-off), level, -1.0);
+      break;
+    }
+  }
+  return right - left;
+}
+
+/// First local minimum outward from the peak: the mainlobe null.
+template <class Getter>
+Index null_offset(Getter get, Index max_offset) {
+  double prev = get(0);
+  for (Index off = 1; off <= max_offset; ++off) {
+    const double v = get(off);
+    if (v > prev) return off - 1;
+    prev = v;
+  }
+  return max_offset;
+}
+
+}  // namespace
+
+PointTargetMetrics measure_point_target(const Grid2D<CFloat>& image, Index x,
+                                        Index y, Index search,
+                                        Index analysis) {
+  ensure(x >= 0 && x < image.width() && y >= 0 && y < image.height(),
+         "measure_point_target: location outside image");
+  PointTargetMetrics m;
+
+  // Local peak search.
+  Index px = x;
+  Index py = y;
+  double best = 0.0;
+  for (Index sy = std::max<Index>(0, y - search);
+       sy <= std::min<Index>(image.height() - 1, y + search); ++sy) {
+    for (Index sx = std::max<Index>(0, x - search);
+         sx <= std::min<Index>(image.width() - 1, x + search); ++sx) {
+      const double v = magnitude(image, sx, sy);
+      if (v > best) {
+        best = v;
+        px = sx;
+        py = sy;
+      }
+    }
+  }
+  m.peak_magnitude = best;
+
+  // Sub-pixel refinement via log-magnitude parabola.
+  auto subpixel = [&](double a, double b, double c) {
+    const double la = std::log(std::max(a, 1e-300));
+    const double lb = std::log(std::max(b, 1e-300));
+    const double lc = std::log(std::max(c, 1e-300));
+    const double denom = la - 2.0 * lb + lc;
+    return std::abs(denom) < 1e-12 ? 0.0
+                                   : std::clamp(0.5 * (la - lc) / denom, -0.5, 0.5);
+  };
+  m.peak_x = static_cast<double>(px);
+  m.peak_y = static_cast<double>(py);
+  if (px > 0 && px + 1 < image.width()) {
+    m.peak_x += subpixel(magnitude(image, px - 1, py), best,
+                         magnitude(image, px + 1, py));
+  }
+  if (py > 0 && py + 1 < image.height()) {
+    m.peak_y += subpixel(magnitude(image, px, py - 1), best,
+                         magnitude(image, px, py + 1));
+  }
+
+  auto cut_x = [&](Index off) {
+    const Index sx = std::clamp<Index>(px + off, 0, image.width() - 1);
+    return magnitude(image, sx, py);
+  };
+  auto cut_y = [&](Index off) {
+    const Index sy = std::clamp<Index>(py + off, 0, image.height() - 1);
+    return magnitude(image, px, sy);
+  };
+  m.irw_x_px = cut_width(cut_x, analysis);
+  m.irw_y_px = cut_width(cut_y, analysis);
+
+  // PSLR/ISLR over the analysis window, excluding the mainlobe (a
+  // rectangle out to the first nulls along each axis).
+  const Index null_x = null_offset(cut_x, analysis);
+  const Index null_y = null_offset(cut_y, analysis);
+  double peak_power = best * best;
+  double sidelobe_peak = 0.0;
+  double sidelobe_energy = 0.0;
+  double mainlobe_energy = 0.0;
+  for (Index sy = std::max<Index>(0, py - analysis);
+       sy <= std::min<Index>(image.height() - 1, py + analysis); ++sy) {
+    for (Index sx = std::max<Index>(0, px - analysis);
+         sx <= std::min<Index>(image.width() - 1, px + analysis); ++sx) {
+      const double v = magnitude(image, sx, sy);
+      const bool in_mainlobe =
+          std::abs(sx - px) <= null_x && std::abs(sy - py) <= null_y;
+      if (in_mainlobe) {
+        mainlobe_energy += v * v;
+      } else {
+        sidelobe_energy += v * v;
+        sidelobe_peak = std::max(sidelobe_peak, v);
+      }
+    }
+  }
+  m.pslr_db = sidelobe_peak > 0.0
+                  ? 20.0 * std::log10(sidelobe_peak / best)
+                  : -300.0;
+  m.islr_db = (sidelobe_energy > 0.0 && mainlobe_energy > 0.0)
+                  ? 10.0 * std::log10(sidelobe_energy / mainlobe_energy)
+                  : -300.0;
+  (void)peak_power;
+  return m;
+}
+
+double image_entropy(const Grid2D<CFloat>& image) {
+  ensure(image.size() > 0, "image_entropy: empty image");
+  double total = 0.0;
+  for (const auto& v : image.flat()) {
+    total += std::norm(std::complex<double>(v.real(), v.imag()));
+  }
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (const auto& v : image.flat()) {
+    const double p = std::norm(std::complex<double>(v.real(), v.imag())) / total;
+    if (p > 0.0) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+double peak_to_mean(const Grid2D<CFloat>& image) {
+  ensure(image.size() > 0, "peak_to_mean: empty image");
+  double peak = 0.0;
+  double sum = 0.0;
+  for (const auto& v : image.flat()) {
+    const double mag = std::hypot(static_cast<double>(v.real()),
+                                  static_cast<double>(v.imag()));
+    peak = std::max(peak, mag);
+    sum += mag;
+  }
+  const double mean = sum / static_cast<double>(image.size());
+  return mean > 0.0 ? peak / mean : 0.0;
+}
+
+}  // namespace sarbp::quality

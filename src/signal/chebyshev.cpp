@@ -1,0 +1,105 @@
+#include "signal/chebyshev.h"
+
+#include <array>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace sarbp::signal {
+
+ChebyshevSeries::ChebyshevSeries(const std::function<double(double)>& f,
+                                 double a, double b, int terms)
+    : a_(a), b_(b) {
+  ensure(terms >= 1, "ChebyshevSeries: need at least one term");
+  ensure(b > a, "ChebyshevSeries: empty interval");
+  // Sample at the Chebyshev nodes of a generous order, then project.
+  const int nodes = std::max(terms + 8, 32);
+  std::vector<double> fx(static_cast<std::size_t>(nodes));
+  for (int k = 0; k < nodes; ++k) {
+    const double theta = std::numbers::pi * (static_cast<double>(k) + 0.5) /
+                         static_cast<double>(nodes);
+    const double t = std::cos(theta);
+    fx[static_cast<std::size_t>(k)] = f(0.5 * (a + b) + 0.5 * (b - a) * t);
+  }
+  coefficients_.resize(static_cast<std::size_t>(terms));
+  // Two extra coefficients for the truncation estimate: odd/even functions
+  // have alternating zero coefficients, so a single dropped term can be
+  // deceptively small.
+  for (int j = 0; j < terms + 2; ++j) {
+    double c = 0.0;
+    for (int k = 0; k < nodes; ++k) {
+      const double theta = std::numbers::pi * (static_cast<double>(k) + 0.5) /
+                           static_cast<double>(nodes);
+      c += fx[static_cast<std::size_t>(k)] *
+           std::cos(static_cast<double>(j) * theta);
+    }
+    c *= 2.0 / static_cast<double>(nodes);
+    if (j < terms) {
+      coefficients_[static_cast<std::size_t>(j)] = c;
+    } else {
+      truncation_estimate_ = std::max(truncation_estimate_, std::abs(c));
+    }
+  }
+}
+
+double ChebyshevSeries::evaluate(double x) const {
+  const double t = (2.0 * x - a_ - b_) / (b_ - a_);
+  const double t2 = 2.0 * t;
+  double d = 0.0;
+  double dd = 0.0;
+  for (std::size_t j = coefficients_.size(); j-- > 1;) {
+    const double sv = d;
+    d = t2 * d - dd + coefficients_[j];
+    dd = sv;
+  }
+  return t * d - dd + 0.5 * coefficients_[0];
+}
+
+namespace {
+
+constexpr float kPiOver2F = 1.57079632679489662f;
+
+struct SinCosPlan {
+  ChebyshevSeries sin_series;
+  ChebyshevSeries cos_series;
+};
+
+const SinCosPlan& plan_for(int degree) {
+  ensure(degree >= 1 && degree <= 16, "sincos_chebyshev: degree in [1, 16]");
+  static std::array<std::unique_ptr<SinCosPlan>, 17> plans;
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  auto& slot = plans[static_cast<std::size_t>(degree)];
+  if (!slot) {
+    const double q = std::numbers::pi / 4.0;
+    slot = std::make_unique<SinCosPlan>(SinCosPlan{
+        ChebyshevSeries([](double x) { return std::sin(x); }, -q, q,
+                        degree + 1),
+        ChebyshevSeries([](double x) { return std::cos(x); }, -q, q,
+                        degree + 1)});
+  }
+  return *slot;
+}
+
+}  // namespace
+
+SinCos sincos_chebyshev(float reduced, int degree) {
+  const SinCosPlan& plan = plan_for(degree);
+  const float quadrant_f = std::nearbyintf(reduced / kPiOver2F);
+  const int quadrant = static_cast<int>(quadrant_f) & 3;
+  const double r = static_cast<double>(reduced) -
+                   static_cast<double>(quadrant_f) * kPiOver2F;
+  const auto s = static_cast<float>(plan.sin_series.evaluate(r));
+  const auto c = static_cast<float>(plan.cos_series.evaluate(r));
+  switch (quadrant) {
+    case 0: return {s, c};
+    case 1: return {c, -s};
+    case 2: return {-s, -c};
+    default: return {-c, s};
+  }
+}
+
+}  // namespace sarbp::signal

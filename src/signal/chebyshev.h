@@ -1,0 +1,51 @@
+// Chebyshev-based polynomial approximation — the trig foundation the paper
+// cites (§6): "Trigonometric functions are typically computed by
+// polynomials derived from the Chebyshev approximation, whose coefficients
+// are similar to those of Taylor polynomials but provide a near optimal
+// solution (i.e., the maximum error is very close to the smallest possible
+// for any polynomial of the same degree)."
+//
+// General machinery (fit any f on [a, b] to a Chebyshev series, truncate,
+// evaluate via Clenshaw) plus ready-made sin/cos evaluators at selectable
+// degree, for the trig-strategy comparison bench.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "signal/trig.h"
+
+namespace sarbp::signal {
+
+/// Chebyshev series of f on [a, b], truncated to `terms` coefficients.
+class ChebyshevSeries {
+ public:
+  ChebyshevSeries(const std::function<double(double)>& f, double a, double b,
+                  int terms);
+
+  [[nodiscard]] double evaluate(double x) const;  ///< Clenshaw recurrence
+  [[nodiscard]] const std::vector<double>& coefficients() const {
+    return coefficients_;
+  }
+  [[nodiscard]] double a() const { return a_; }
+  [[nodiscard]] double b() const { return b_; }
+
+  /// Magnitude of the first dropped coefficient: the classic truncation
+  /// error estimate (near-minimax property).
+  [[nodiscard]] double truncation_estimate() const {
+    return truncation_estimate_;
+  }
+
+ private:
+  double a_;
+  double b_;
+  std::vector<double> coefficients_;
+  double truncation_estimate_ = 0.0;
+};
+
+/// sin/cos on [-pi/4, pi/4] with Chebyshev polynomials of the requested
+/// polynomial degree (quadrant folding handles the rest). Plans are cached
+/// per degree.
+SinCos sincos_chebyshev(float reduced, int degree = 7);
+
+}  // namespace sarbp::signal

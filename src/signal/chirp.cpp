@@ -1,0 +1,48 @@
+#include "signal/chirp.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sarbp::signal {
+
+double ChirpParams::range_bin_spacing() const {
+  return kSpeedOfLight / (2.0 * sample_rate_hz);
+}
+
+double ChirpParams::range_resolution() const {
+  return kSpeedOfLight / (2.0 * bandwidth_hz);
+}
+
+std::size_t ChirpParams::samples_per_pulse() const {
+  // Round-to-nearest: ceil() would turn an exact product like 3600.0 into
+  // 3601 through floating-point representation error.
+  return static_cast<std::size_t>(std::llround(duration_s * sample_rate_hz));
+}
+
+double ChirpParams::wavenumber() const {
+  return 2.0 * carrier_hz / kSpeedOfLight;
+}
+
+void ChirpParams::validate() const {
+  sarbp::ensure(carrier_hz > 0, "chirp: carrier must be positive");
+  sarbp::ensure(bandwidth_hz > 0, "chirp: bandwidth must be positive");
+  sarbp::ensure(duration_s > 0, "chirp: duration must be positive");
+  sarbp::ensure(sample_rate_hz >= bandwidth_hz,
+                "chirp: baseband sampling below Nyquist for the swept band");
+}
+
+std::vector<CDouble> baseband_chirp(const ChirpParams& params) {
+  params.validate();
+  const std::size_t n = params.samples_per_pulse();
+  const double gamma = params.chirp_rate();
+  const double dt = 1.0 / params.sample_rate_hz;
+  std::vector<CDouble> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt - 0.5 * params.duration_s;
+    const double phase = std::numbers::pi * gamma * t * t;
+    samples[i] = {std::cos(phase), std::sin(phase)};
+  }
+  return samples;
+}
+
+}  // namespace sarbp::signal

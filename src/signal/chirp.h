@@ -1,0 +1,43 @@
+// Linear-frequency-modulated (LFM) chirp waveform model.
+//
+// The paper's simulated input "assumes linear frequency modulated pulses
+// (i.e., chirp)" (§5.1). The collector transmits this waveform; range
+// compression matched-filters against it.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace sarbp::signal {
+
+/// Physical chirp parameters. All SI units.
+struct ChirpParams {
+  double carrier_hz = 9.6e9;     ///< f0: X-band carrier
+  double bandwidth_hz = 300.0e6; ///< B: swept bandwidth (range resolution c/2B)
+  double duration_s = 10.0e-6;   ///< Tp: pulse length
+  double sample_rate_hz = 360.0e6;  ///< fs: complex baseband sampling rate
+
+  [[nodiscard]] double chirp_rate() const { return bandwidth_hz / duration_s; }
+  /// Range-bin spacing after compression: dr = c / (2 fs).
+  [[nodiscard]] double range_bin_spacing() const;
+  /// Range resolution of the compressed pulse: c / (2 B).
+  [[nodiscard]] double range_resolution() const;
+  /// Number of samples across the transmitted pulse.
+  [[nodiscard]] std::size_t samples_per_pulse() const;
+  /// Carrier wavenumber factor k = 2 f0 / c, so the two-way carrier phase
+  /// at range r is 2*pi*k*r — the `k` of the paper's Fig. 3.
+  [[nodiscard]] double wavenumber() const;
+
+  void validate() const;
+};
+
+/// Complex-baseband samples of the transmitted chirp:
+/// s(t) = exp(i*pi*gamma*(t - Tp/2)^2), t in [0, Tp), centred sweep.
+std::vector<CDouble> baseband_chirp(const ChirpParams& params);
+
+/// Speed of light (m/s), shared constant.
+inline constexpr double kSpeedOfLight = 299792458.0;
+
+}  // namespace sarbp::signal

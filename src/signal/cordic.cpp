@@ -1,0 +1,94 @@
+#include "signal/cordic.h"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace sarbp::signal {
+namespace {
+
+constexpr int kMaxIterations = 30;
+constexpr int kFracBits = 30;  // Q2.30 fixed point
+constexpr double kOne = static_cast<double>(std::int64_t{1} << kFracBits);
+
+struct CordicTables {
+  std::array<std::int64_t, kMaxIterations> angles;  // atan(2^-i), Q2.30 rad
+  std::array<double, kMaxIterations + 1> gain;      // cumulative K
+};
+
+const CordicTables& tables() {
+  static const CordicTables t = [] {
+    CordicTables out{};
+    double k = 1.0;
+    out.gain[0] = 1.0;
+    for (int i = 0; i < kMaxIterations; ++i) {
+      out.angles[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(
+          std::llround(std::atan(std::ldexp(1.0, -i)) * kOne));
+      k *= 1.0 / std::sqrt(1.0 + std::ldexp(1.0, -2 * i));
+      out.gain[static_cast<std::size_t>(i) + 1] = k;
+    }
+    return out;
+  }();
+  return t;
+}
+
+}  // namespace
+
+SinCos sincos_cordic(float reduced_half_pi, int iterations) {
+  ensure(iterations >= 1 && iterations <= kMaxIterations,
+         "sincos_cordic: iterations out of range");
+  const auto& t = tables();
+  // Start on the x-axis scaled by the inverse cumulative gain, so the
+  // result needs no post-multiply (multiplier-free, as in hardware).
+  auto x = static_cast<std::int64_t>(
+      std::llround(t.gain[static_cast<std::size_t>(iterations)] * kOne));
+  std::int64_t y = 0;
+  auto z = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(reduced_half_pi) * kOne));
+  for (int i = 0; i < iterations; ++i) {
+    const std::int64_t dx = y >> i;
+    const std::int64_t dy = x >> i;
+    const std::int64_t da = t.angles[static_cast<std::size_t>(i)];
+    if (z >= 0) {
+      x -= dx;
+      y += dy;
+      z -= da;
+    } else {
+      x += dx;
+      y -= dy;
+      z += da;
+    }
+  }
+  return {static_cast<float>(static_cast<double>(y) / kOne),
+          static_cast<float>(static_cast<double>(x) / kOne)};
+}
+
+SinCos sincos_cordic_full(double arg, int iterations) {
+  const double reduced = reduce_to_pi(arg);
+  // Fold [-pi, pi] into [-pi/2, pi/2]: sin(pi - r) = sin(r),
+  // cos(pi - r) = -cos(r) (and the mirrored case for r < -pi/2).
+  if (reduced > std::numbers::pi / 2) {
+    const SinCos sc = sincos_cordic(
+        static_cast<float>(std::numbers::pi - reduced), iterations);
+    return {sc.sin, -sc.cos};
+  }
+  if (reduced < -std::numbers::pi / 2) {
+    const SinCos sc = sincos_cordic(
+        static_cast<float>(-std::numbers::pi - reduced), iterations);
+    return {sc.sin, -sc.cos};
+  }
+  return sincos_cordic(static_cast<float>(reduced), iterations);
+}
+
+double cordic_error_bound(int iterations) {
+  ensure(iterations >= 1 && iterations <= kMaxIterations,
+         "cordic_error_bound: iterations out of range");
+  // Residual rotation angle <= atan(2^-(n-1)) plus a few ulps of the Q2.30
+  // datapath per iteration.
+  return std::atan(std::ldexp(1.0, -(iterations - 1))) +
+         static_cast<double>(iterations + 2) / kOne * 4.0;
+}
+
+}  // namespace sarbp::signal

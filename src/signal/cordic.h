@@ -1,0 +1,30 @@
+// CORDIC sine/cosine — the related-work trig baseline of paper §6:
+// "CORDIC is another method of computing trigonometric functions, but it
+// is used only in simple hardware without multipliers and floating point
+// units. Similar to Chebyshev-approximation-based approaches, CORDIC also
+// requires arguments to be in a certain range (e.g., [-pi/2, pi/2])."
+//
+// Implemented in fixed point (as real CORDIC hardware is) so the bench can
+// compare its iteration count / accuracy trade-off against the polynomial
+// and ASR approaches.
+#pragma once
+
+#include <cstdint>
+
+#include "signal/trig.h"
+
+namespace sarbp::signal {
+
+/// sin/cos via `iterations` CORDIC rotations. The argument must already be
+/// reduced to [-pi/2, pi/2] (the hardware-unit constraint the paper calls
+/// out); use reduce_to_pi + quadrant folding for general arguments.
+SinCos sincos_cordic(float reduced_half_pi, int iterations = 24);
+
+/// General-argument wrapper: double reduction, quadrant fold, CORDIC core.
+SinCos sincos_cordic_full(double x, int iterations = 24);
+
+/// Worst-case absolute error bound of the fixed-point core after
+/// `iterations` rotations: angle residual + fixed-point quantization.
+double cordic_error_bound(int iterations);
+
+}  // namespace sarbp::signal

@@ -1,0 +1,147 @@
+#include "signal/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sarbp::signal {
+namespace {
+
+// Twiddles are always generated in double then narrowed: for float plans
+// this costs nothing at plan time and keeps the root-of-unity error at the
+// float rounding floor instead of accumulating.
+template <class T>
+std::complex<T> unit_root(double numerator_turns, double denominator) {
+  const double angle = 2.0 * std::numbers::pi * numerator_turns / denominator;
+  return {static_cast<T>(std::cos(angle)), static_cast<T>(std::sin(angle))};
+}
+
+std::vector<std::size_t> make_bitrev(std::size_t n) {
+  std::vector<std::size_t> rev(n);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < log2n; ++b) {
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (log2n - 1 - b);
+    }
+    rev[i] = r;
+  }
+  return rev;
+}
+
+}  // namespace
+
+template <class T>
+std::size_t Fft<T>::next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <class T>
+Fft<T>::Fft(std::size_t n) : n_(n), pow2_(is_power_of_two(n)) {
+  ensure(n > 0, "Fft size must be positive");
+  if (pow2_) {
+    m_ = n_;
+  } else {
+    // Bluestein turns a length-n DFT into a cyclic convolution of length
+    // >= 2n-1; round up to a power of two for the radix-2 core.
+    m_ = next_power_of_two(2 * n_ - 1);
+  }
+  bitrev_ = make_bitrev(m_);
+  twiddle_.resize(m_ / 2);
+  for (std::size_t k = 0; k < m_ / 2; ++k) {
+    // Forward convention: X_k = sum x_j exp(-2*pi*i*jk/N).
+    twiddle_[k] = unit_root<T>(-static_cast<double>(k), static_cast<double>(m_));
+  }
+  if (!pow2_) {
+    chirp_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      // exp(-i*pi*k^2/n); k^2 is reduced mod 2n first so the angle stays
+      // small and accurate even for large k.
+      const std::size_t k2 = (k * k) % (2 * n_);
+      chirp_[k] =
+          unit_root<T>(-0.5 * static_cast<double>(k2), static_cast<double>(n_));
+    }
+    chirp_filter_fwd_.assign(m_, std::complex<T>{});
+    chirp_filter_fwd_[0] = std::conj(chirp_[0]);
+    for (std::size_t k = 1; k < n_; ++k) {
+      chirp_filter_fwd_[k] = std::conj(chirp_[k]);
+      chirp_filter_fwd_[m_ - k] = std::conj(chirp_[k]);
+    }
+    pow2_transform(chirp_filter_fwd_, /*inverse=*/false);
+  }
+}
+
+template <class T>
+void Fft<T>::pow2_transform(std::span<std::complex<T>> data,
+                            bool inverse) const {
+  const std::size_t n = data.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = m_ / len;  // twiddle table is for size m_
+    for (std::size_t base = 0; base < n; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        std::complex<T> w = twiddle_[k * stride];
+        if (inverse) w = std::conj(w);
+        const std::complex<T> odd = data[base + k + half] * w;
+        const std::complex<T> even = data[base + k];
+        data[base + k] = even + odd;
+        data[base + k + half] = even - odd;
+      }
+    }
+  }
+}
+
+template <class T>
+void Fft<T>::bluestein_transform(std::span<std::complex<T>> data,
+                                 bool inverse) const {
+  // DFT via chirp-z: X_k = conj(b_k) * sum_j (x_j conj(b_j)) b_{k-j}
+  // with b_k = exp(-i*pi*k^2/n) for the forward direction.
+  std::vector<std::complex<T>> a(m_, std::complex<T>{});
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::complex<T> c = inverse ? std::conj(chirp_[j]) : chirp_[j];
+    a[j] = data[j] * c;
+  }
+  pow2_transform(a, /*inverse=*/false);
+  if (inverse) {
+    // The inverse-direction filter is the conjugate chirp; its forward FFT
+    // is the conjugate-reverse of the stored one. Recompute on the fly from
+    // the identity FFT(conj(x))_k = conj(FFT(x)_{-k}).
+    for (std::size_t k = 0; k < m_; ++k) {
+      const std::size_t rk = k == 0 ? 0 : m_ - k;
+      a[k] *= std::conj(chirp_filter_fwd_[rk]);
+    }
+  } else {
+    for (std::size_t k = 0; k < m_; ++k) a[k] *= chirp_filter_fwd_[k];
+  }
+  pow2_transform(a, /*inverse=*/true);
+  const T inv_m = static_cast<T>(1.0 / static_cast<double>(m_));
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::complex<T> c = inverse ? std::conj(chirp_[k]) : chirp_[k];
+    data[k] = a[k] * inv_m * c;
+  }
+}
+
+template <class T>
+void Fft<T>::forward(std::span<std::complex<T>> data) const {
+  ensure(data.size() == n_, "Fft::forward: size mismatch");
+  pow2_ ? pow2_transform(data, false) : bluestein_transform(data, false);
+}
+
+template <class T>
+void Fft<T>::inverse(std::span<std::complex<T>> data) const {
+  ensure(data.size() == n_, "Fft::inverse: size mismatch");
+  pow2_ ? pow2_transform(data, true) : bluestein_transform(data, true);
+  const T inv_n = static_cast<T>(1.0 / static_cast<double>(n_));
+  for (auto& v : data) v *= inv_n;
+}
+
+template class Fft<float>;
+template class Fft<double>;
+
+}  // namespace sarbp::signal

@@ -1,0 +1,72 @@
+// Complex FFT: iterative radix-2 for power-of-two sizes, Bluestein's
+// chirp-z algorithm for everything else.
+//
+// This is the substrate for range compression (matched filter), the
+// registration stage's patch cross-correlations (the paper's Nc Sc×Sc 2D
+// FFTs), and the Table 5 FLOP model's 10 n^2 log n 2D-FFT accounting.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace sarbp::signal {
+
+enum class FftDirection { kForward, kInverse };
+
+/// Planned 1D complex FFT of a fixed size. Plans precompute twiddle
+/// factors and the bit-reversal permutation (and, for non-power-of-two
+/// sizes, the Bluestein chirp sequences), so repeated transforms — the
+/// common case in range compression and registration — do no setup work.
+///
+/// The inverse transform is normalized by 1/N, so inverse(forward(x)) == x.
+template <class T>
+class Fft {
+ public:
+  explicit Fft(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// In-place transform; data.size() must equal size().
+  void forward(std::span<std::complex<T>> data) const;
+  void inverse(std::span<std::complex<T>> data) const;
+
+  void transform(std::span<std::complex<T>> data, FftDirection dir) const {
+    dir == FftDirection::kForward ? forward(data) : inverse(data);
+  }
+
+  [[nodiscard]] static bool is_power_of_two(std::size_t n) {
+    return n != 0 && (n & (n - 1)) == 0;
+  }
+
+  /// Smallest power of two >= n.
+  [[nodiscard]] static std::size_t next_power_of_two(std::size_t n);
+
+ private:
+  void pow2_transform(std::span<std::complex<T>> data, bool inverse) const;
+  void bluestein_transform(std::span<std::complex<T>> data, bool inverse) const;
+
+  std::size_t n_;
+  bool pow2_;
+  // pow2 machinery (for n_ itself, or for the Bluestein convolution size m_).
+  std::size_t m_;                               // convolution length (pow2)
+  std::vector<std::size_t> bitrev_;             // size m_ (or n_ if pow2)
+  std::vector<std::complex<T>> twiddle_;        // forward twiddles, size m_/2
+  // Bluestein chirps: b_k = exp(i*pi*k^2/n), and the pre-transformed filter.
+  std::vector<std::complex<T>> chirp_;          // size n_
+  std::vector<std::complex<T>> chirp_filter_fwd_;  // size m_, forward-FFT'd
+};
+
+/// One-shot convenience transform (plans internally).
+template <class T>
+void fft(std::span<std::complex<T>> data, FftDirection dir) {
+  Fft<T>(data.size()).transform(data, dir);
+}
+
+extern template class Fft<float>;
+extern template class Fft<double>;
+
+}  // namespace sarbp::signal

@@ -1,0 +1,28 @@
+#include "signal/fft2d.h"
+
+#include <vector>
+
+namespace sarbp::signal {
+
+template <class T>
+void Fft2D<T>::transform(Grid2D<std::complex<T>>& grid,
+                         FftDirection dir) const {
+  ensure(grid.width() == width_ && grid.height() == height_,
+         "Fft2D: grid shape mismatch");
+  for (Index y = 0; y < height_; ++y) {
+    row_fft_.transform(grid.row(y), dir);
+  }
+  // Columns go through a contiguous scratch buffer: the strided gather is
+  // cheap relative to the transform and keeps the 1D core cache-friendly.
+  std::vector<std::complex<T>> column(static_cast<std::size_t>(height_));
+  for (Index x = 0; x < width_; ++x) {
+    for (Index y = 0; y < height_; ++y) column[static_cast<std::size_t>(y)] = grid.at(x, y);
+    col_fft_.transform(column, dir);
+    for (Index y = 0; y < height_; ++y) grid.at(x, y) = column[static_cast<std::size_t>(y)];
+  }
+}
+
+template class Fft2D<float>;
+template class Fft2D<double>;
+
+}  // namespace sarbp::signal

@@ -1,0 +1,42 @@
+// 2D complex FFT over Grid2D, built on the planned 1D transform.
+// Used by the registration stage's patch cross-correlations.
+#pragma once
+
+#include "common/grid2d.h"
+#include "signal/fft.h"
+
+namespace sarbp::signal {
+
+/// Planned 2D FFT for a fixed width x height shape.
+template <class T>
+class Fft2D {
+ public:
+  Fft2D(Index width, Index height)
+      : width_(width),
+        height_(height),
+        row_fft_(static_cast<std::size_t>(width)),
+        col_fft_(static_cast<std::size_t>(height)) {}
+
+  [[nodiscard]] Index width() const { return width_; }
+  [[nodiscard]] Index height() const { return height_; }
+
+  void forward(Grid2D<std::complex<T>>& grid) const {
+    transform(grid, FftDirection::kForward);
+  }
+  void inverse(Grid2D<std::complex<T>>& grid) const {
+    transform(grid, FftDirection::kInverse);
+  }
+
+  void transform(Grid2D<std::complex<T>>& grid, FftDirection dir) const;
+
+ private:
+  Index width_;
+  Index height_;
+  Fft<T> row_fft_;
+  Fft<T> col_fft_;
+};
+
+extern template class Fft2D<float>;
+extern template class Fft2D<double>;
+
+}  // namespace sarbp::signal

@@ -1,0 +1,77 @@
+#include "signal/interp.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sarbp::signal {
+namespace {
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  const double px = std::numbers::pi * x;
+  return std::sin(px) / px;
+}
+
+template <class T>
+std::complex<T> sinc_interp_impl(std::span<const std::complex<T>> in,
+                                 double bin, int taps) {
+  if (!(bin >= 0.0) || bin > static_cast<double>(in.size() - 1)) return {};
+  const auto centre = static_cast<std::ptrdiff_t>(std::floor(bin));
+  std::complex<double> acc{};
+  double weight_sum = 0.0;
+  for (std::ptrdiff_t j = centre - taps + 1; j <= centre + taps; ++j) {
+    if (j < 0 || j >= static_cast<std::ptrdiff_t>(in.size())) continue;
+    const double d = bin - static_cast<double>(j);
+    // Hann-tapered sinc kernel over [-taps, taps].
+    const double hann =
+        0.5 + 0.5 * std::cos(std::numbers::pi * d / static_cast<double>(taps));
+    const double w = sinc(d) * hann;
+    acc += std::complex<double>(in[static_cast<std::size_t>(j)].real(),
+                                in[static_cast<std::size_t>(j)].imag()) *
+           w;
+    weight_sum += w * sinc(0.0);  // normalization reference
+  }
+  (void)weight_sum;  // classic windowed sinc is used unnormalized
+  return {static_cast<T>(acc.real()), static_cast<T>(acc.imag())};
+}
+
+template <class G>
+auto bilinear_impl(const G& image, double x, double y) ->
+    typename std::remove_cvref_t<decltype(image.at(0, 0))> {
+  using Pixel = typename std::remove_cvref_t<decltype(image.at(0, 0))>;
+  if (!(x >= 0.0) || !(y >= 0.0)) return Pixel{};
+  const auto x0 = static_cast<Index>(x);
+  const auto y0 = static_cast<Index>(y);
+  if (x0 + 1 >= image.width() || y0 + 1 >= image.height()) return Pixel{};
+  const double fx = x - static_cast<double>(x0);
+  const double fy = y - static_cast<double>(y0);
+  const auto p00 = image.at(x0, y0);
+  const auto p10 = image.at(x0 + 1, y0);
+  const auto p01 = image.at(x0, y0 + 1);
+  const auto p11 = image.at(x0 + 1, y0 + 1);
+  // 54-FLOP bilinear of the paper's Table 5 model counts complex pixels;
+  // the expression below is the standard separable form.
+  const auto top = p00 + (p10 - p00) * static_cast<float>(fx);
+  const auto bottom = p01 + (p11 - p01) * static_cast<float>(fx);
+  return top + (bottom - top) * static_cast<float>(fy);
+}
+
+}  // namespace
+
+CDouble sinc_interp(std::span<const CDouble> in, double bin, int taps) {
+  return sinc_interp_impl(in, bin, taps);
+}
+
+CFloat sinc_interp(std::span<const CFloat> in, double bin, int taps) {
+  return sinc_interp_impl(in, bin, taps);
+}
+
+CFloat bilinear(const Grid2D<CFloat>& image, double x, double y) {
+  return bilinear_impl(image, x, y);
+}
+
+float bilinear(const Grid2D<float>& image, double x, double y) {
+  return bilinear_impl(image, x, y);
+}
+
+}  // namespace sarbp::signal

@@ -1,0 +1,42 @@
+// Interpolators.
+//
+// - linear_interp: the paper's `interp(In, bin)` — the backprojection
+//   inner loop's irregular read (Fig. 3 caption gives the exact formula).
+// - sinc_interp: higher-quality windowed-sinc variant used to quantify the
+//   quality/cost trade-off of the linear choice.
+// - bilinear: 2D resampling used by the registration stage.
+#pragma once
+
+#include <span>
+
+#include "common/grid2d.h"
+#include "common/types.h"
+
+namespace sarbp::signal {
+
+/// (1 - frac) * in[floor(bin)] + frac * in[floor(bin)+1].
+/// Out-of-range bins return zero (pulse data does not wrap).
+template <class T>
+[[nodiscard]] inline std::complex<T> linear_interp(
+    std::span<const std::complex<T>> in, double bin) {
+  if (!(bin >= 0.0)) return {};
+  const auto i = static_cast<std::size_t>(bin);
+  if (i + 1 >= in.size()) return {};
+  const T frac = static_cast<T>(bin - static_cast<double>(i));
+  const T one_minus = T(1) - frac;
+  return std::complex<T>(one_minus * in[i].real() + frac * in[i + 1].real(),
+                         one_minus * in[i].imag() + frac * in[i + 1].imag());
+}
+
+/// Windowed-sinc interpolation with `taps` points per side (Hann taper).
+CDouble sinc_interp(std::span<const CDouble> in, double bin, int taps = 8);
+CFloat sinc_interp(std::span<const CFloat> in, double bin, int taps = 8);
+
+/// Bilinear sample of a complex image at fractional (x, y).
+/// Out-of-image coordinates return zero.
+CFloat bilinear(const Grid2D<CFloat>& image, double x, double y);
+
+/// Bilinear sample of a real image.
+float bilinear(const Grid2D<float>& image, double x, double y);
+
+}  // namespace sarbp::signal

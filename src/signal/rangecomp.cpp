@@ -1,0 +1,44 @@
+#include "signal/rangecomp.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sarbp::signal {
+
+RangeCompressor::RangeCompressor(const ChirpParams& chirp,
+                                 std::size_t window_samples, WindowKind taper)
+    : window_samples_(window_samples),
+      fft_(Fft<double>::next_power_of_two(window_samples +
+                                          chirp.samples_per_pulse())) {
+  ensure(window_samples > 0, "RangeCompressor: empty receive window");
+  // Build conj(FFT(replica)) once. Correlation (not convolution) against
+  // the replica keeps a reflector at delay tau at output bin tau*fs.
+  const std::vector<CDouble> replica = baseband_chirp(chirp);
+  const std::vector<double> w = make_window(taper, replica.size());
+  std::vector<CDouble> padded(fft_.size(), CDouble{});
+  for (std::size_t i = 0; i < replica.size(); ++i) padded[i] = replica[i] * w[i];
+  fft_.forward(padded);
+  reference_spectrum_.resize(fft_.size());
+  const double norm = 1.0 / static_cast<double>(replica.size());
+  for (std::size_t i = 0; i < padded.size(); ++i) {
+    reference_spectrum_[i] = std::conj(padded[i]) * norm;
+  }
+}
+
+void RangeCompressor::compress(std::span<const CDouble> raw,
+                               std::span<CFloat> out) const {
+  ensure(raw.size() == window_samples_, "RangeCompressor: raw size mismatch");
+  ensure(out.size() == window_samples_, "RangeCompressor: out size mismatch");
+  std::vector<CDouble> work(fft_.size(), CDouble{});
+  std::copy(raw.begin(), raw.end(), work.begin());
+  fft_.forward(work);
+  for (std::size_t i = 0; i < work.size(); ++i) work[i] *= reference_spectrum_[i];
+  fft_.inverse(work);
+  for (std::size_t i = 0; i < window_samples_; ++i) {
+    out[i] = CFloat(static_cast<float>(work[i].real()),
+                    static_cast<float>(work[i].imag()));
+  }
+}
+
+}  // namespace sarbp::signal

@@ -1,0 +1,42 @@
+// FFT matched-filter range compression.
+//
+// Raw baseband echoes (one receive window per pulse) are correlated with
+// the transmitted chirp replica; the output is a range profile whose bin b
+// corresponds to slant range r0 + b*dr — exactly the `In` array the
+// backprojection inner loop samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "signal/chirp.h"
+#include "signal/fft.h"
+#include "signal/window.h"
+
+namespace sarbp::signal {
+
+/// Planned range compressor for a fixed receive-window length.
+class RangeCompressor {
+ public:
+  /// `window_samples`: number of raw samples per receive window.
+  /// `taper`: spectral weighting applied to the reference to suppress range
+  /// sidelobes (rect == classic matched filter).
+  RangeCompressor(const ChirpParams& chirp, std::size_t window_samples,
+                  WindowKind taper = WindowKind::kTaylor);
+
+  /// Correlates `raw` (size window_samples) with the chirp replica and
+  /// writes the compressed profile (same length; bin b = delay b/fs from
+  /// window start). Output is single precision: the paper's In array.
+  void compress(std::span<const CDouble> raw, std::span<CFloat> out) const;
+
+  [[nodiscard]] std::size_t window_samples() const { return window_samples_; }
+  [[nodiscard]] std::size_t fft_size() const { return fft_.size(); }
+
+ private:
+  std::size_t window_samples_;
+  Fft<double> fft_;
+  std::vector<CDouble> reference_spectrum_;  // conj(FFT(replica)) * taper
+};
+
+}  // namespace sarbp::signal

@@ -1,0 +1,84 @@
+#include "signal/trig.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sarbp::signal {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr float kPiOver2F = 1.57079632679489662f;
+
+// Polynomial cores on [-pi/4, pi/4]. Coefficients are the Taylor series
+// truncations, which over this narrow interval are within ~1 ulp of the
+// minimax optimum for float evaluation.
+float sin_core(float x) {
+  const float x2 = x * x;
+  // x - x^3/3! + x^5/5! - x^7/7!
+  return x * (1.0f + x2 * (-1.6666667163e-1f +
+                           x2 * (8.3333337680e-3f + x2 * -1.9841270114e-4f)));
+}
+
+float cos_core(float x) {
+  const float x2 = x * x;
+  // 1 - x^2/2! + x^4/4! - x^6/6! + x^8/8!
+  return 1.0f + x2 * (-5.0e-1f +
+                      x2 * (4.1666667908e-2f +
+                            x2 * (-1.3888889225e-3f + x2 * 2.4801587642e-5f)));
+}
+
+}  // namespace
+
+double reduce_to_pi(double x) {
+  // Cody–Waite style reduction is unnecessary here because |x| stays below
+  // ~2^23 * 2*pi in any realistic SAR geometry; one fused round-and-
+  // subtract in double keeps the reduced argument to < 1 ulp of 2*pi.
+  const double n = std::nearbyint(x / kTwoPi);
+  return x - n * kTwoPi;
+}
+
+SinCos sincos_poly(float reduced) {
+  // Fold [-pi, pi] into a quadrant index and a residual in [-pi/4, pi/4].
+  const float quadrant_f = std::nearbyintf(reduced / kPiOver2F);
+  const int quadrant = static_cast<int>(quadrant_f) & 3;  // -2..2 -> 0..3
+  const float r = reduced - quadrant_f * kPiOver2F;
+  const float s = sin_core(r);
+  const float c = cos_core(r);
+  switch (quadrant) {
+    case 0: return {s, c};
+    case 1: return {c, -s};
+    case 2: return {-s, -c};
+    default: return {-c, s};
+  }
+}
+
+SinCos sincos_poly_ep(float reduced) {
+  // Degree-3/4 cores: |err| ~ 2.5e-3 (sin) / 3.3e-4 (cos) at the quadrant
+  // edge — the ~11-significant-bit EP operating point.
+  const float quadrant_f = std::nearbyintf(reduced / kPiOver2F);
+  const int quadrant = static_cast<int>(quadrant_f) & 3;
+  const float r = reduced - quadrant_f * kPiOver2F;
+  const float r2 = r * r;
+  const float s = r * (1.0f - 1.6666667163e-1f * r2);
+  const float c = 1.0f + r2 * (-5.0e-1f + 4.1666667908e-2f * r2);
+  switch (quadrant) {
+    case 0: return {s, c};
+    case 1: return {c, -s};
+    case 2: return {-s, -c};
+    default: return {-c, s};
+  }
+}
+
+SinCos sincos_baseline(double x) { return sincos_poly(static_cast<float>(reduce_to_pi(x))); }
+
+SinCos sincos_baseline_ep(double x) {
+  return sincos_poly_ep(static_cast<float>(reduce_to_pi(x)));
+}
+
+SinCos sincos_float_reduction(float x) {
+  const float n = std::nearbyintf(x / static_cast<float>(kTwoPi));
+  const float reduced = x - n * static_cast<float>(kTwoPi);
+  return sincos_poly(reduced);
+}
+
+}  // namespace sarbp::signal

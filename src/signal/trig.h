@@ -1,0 +1,47 @@
+// Vectorizable polynomial sine/cosine with double-precision argument
+// reduction — the paper's *baseline* trig path (§5.2.1): "sine and cosine
+// are computed by approximation polynomials that are vectorized and yield
+// an accuracy equivalent to that of Intel MKL VML in the Enhanced
+// Performance mode", with the reduction of the (large, e.g. 2*pi*k*r with
+// r ~ 20 km) argument done in double because doing it in single collapses
+// accuracy to ~12 dB (Fig. 8 discussion).
+#pragma once
+
+#include <utility>
+
+namespace sarbp::signal {
+
+/// Reduces x to y in [-pi, pi] with x = y + 2*pi*n, carried out entirely in
+/// double precision. This is the accuracy-critical step the baseline cannot
+/// avoid and ASR eliminates.
+double reduce_to_pi(double x);
+
+/// sin/cos of an argument already reduced to [-pi, pi], evaluated with
+/// single-precision minimax-style polynomials (degree 7/8 Taylor-Chebyshev
+/// hybrids over [-pi/4, pi/4] after quadrant folding). Branch-light so a
+/// compiler can vectorize a loop of these.
+struct SinCos {
+  float sin;
+  float cos;
+};
+SinCos sincos_poly(float reduced);
+
+/// Lower-degree polynomials matching the accuracy of Intel MKL VML's
+/// Enhanced Performance (EP) mode — the trig accuracy the paper's baseline
+/// actually ran at (§5.2.1: "an accuracy equivalent to that of Intel MKL
+/// VML in the Enhanced Performance mode", 55 dB image SNR in Fig. 8).
+SinCos sincos_poly_ep(float reduced);
+
+/// Convenience: full baseline path — double reduction then float polys
+/// (high-accuracy variant).
+SinCos sincos_baseline(double x);
+
+/// The paper-baseline path: double reduction then EP-accuracy polynomials.
+SinCos sincos_baseline_ep(double x);
+
+/// Deliberately wrong-precision variant: reduction done in *single*
+/// precision. Reproduces the 12 dB accuracy collapse of Fig. 8's
+/// "float r + libm" data point.
+SinCos sincos_float_reduction(float x);
+
+}  // namespace sarbp::signal

@@ -1,0 +1,83 @@
+#include "signal/window.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace sarbp::signal {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::vector<double> cosine_sum(std::size_t n, double a0, double a1, double a2) {
+  std::vector<double> w(n, 1.0);
+  if (n == 1) return w;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = 2.0 * kPi * static_cast<double>(i) / static_cast<double>(n - 1);
+    w[i] = a0 - a1 * std::cos(t) + a2 * std::cos(2.0 * t);
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> taylor_window(std::size_t n, int nbar, double sidelobe_db) {
+  sarbp::ensure(n > 0, "taylor_window: n must be positive");
+  sarbp::ensure(nbar >= 1, "taylor_window: nbar must be >= 1");
+  sarbp::ensure(sidelobe_db < 0, "taylor_window: sidelobe level must be negative dB");
+  // Standard Taylor weighting (e.g. Richards, "Fundamentals of Radar
+  // Signal Processing"): F_m coefficients from the desired sidelobe ratio.
+  const double r = std::pow(10.0, -sidelobe_db / 20.0);  // voltage ratio > 1
+  const double a = std::acosh(r) / kPi;
+  const double a2 = a * a;
+  const double nb = static_cast<double>(nbar);
+  const double sigma2 = nb * nb / (a2 + (nb - 0.5) * (nb - 0.5));
+
+  std::vector<double> fm(static_cast<std::size_t>(nbar - 1));
+  for (int m = 1; m < nbar; ++m) {
+    double numerator = 1.0;
+    double denominator = 1.0;
+    const double md = static_cast<double>(m);
+    for (int k = 1; k < nbar; ++k) {
+      const double kd = static_cast<double>(k);
+      numerator *= 1.0 - md * md / (sigma2 * (a2 + (kd - 0.5) * (kd - 0.5)));
+      if (k != m) denominator *= 1.0 - md * md / (kd * kd);
+    }
+    const double sign = (m % 2 == 0) ? 1.0 : -1.0;
+    fm[static_cast<std::size_t>(m - 1)] = -sign * numerator / (2.0 * denominator);
+  }
+
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        (static_cast<double>(i) - 0.5 * static_cast<double>(n - 1)) /
+        static_cast<double>(n);
+    double v = 1.0;
+    for (int m = 1; m < nbar; ++m) {
+      v += 2.0 * fm[static_cast<std::size_t>(m - 1)] *
+           std::cos(2.0 * kPi * static_cast<double>(m) * x);
+    }
+    w[i] = v;
+  }
+  return w;
+}
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  sarbp::ensure(n > 0, "make_window: n must be positive");
+  switch (kind) {
+    case WindowKind::kRect:
+      return std::vector<double>(n, 1.0);
+    case WindowKind::kHann:
+      return cosine_sum(n, 0.5, 0.5, 0.0);
+    case WindowKind::kHamming:
+      return cosine_sum(n, 0.54, 0.46, 0.0);
+    case WindowKind::kBlackman:
+      return cosine_sum(n, 0.42, 0.5, 0.08);
+    case WindowKind::kTaylor:
+      return taylor_window(n, 4, -35.0);
+  }
+  return std::vector<double>(n, 1.0);
+}
+
+}  // namespace sarbp::signal

@@ -1,0 +1,20 @@
+// Tapering windows for pulse shaping and sidelobe control.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sarbp::signal {
+
+enum class WindowKind { kRect, kHann, kHamming, kBlackman, kTaylor };
+
+/// Generates an n-point window of the requested kind.
+/// The Taylor window (nbar = 4, -35 dB sidelobes) is the SAR community
+/// default for range/cross-range weighting.
+std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Taylor window with explicit parameters: `nbar` nearly-constant-level
+/// sidelobes at `sidelobe_db` (negative, e.g. -35).
+std::vector<double> taylor_window(std::size_t n, int nbar, double sidelobe_db);
+
+}  // namespace sarbp::signal

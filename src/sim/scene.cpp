@@ -1,0 +1,78 @@
+#include "sim/scene.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sarbp::sim {
+
+std::vector<Reflector> ReflectorScene::visible_at(double time_s) const {
+  std::vector<Reflector> out;
+  out.reserve(reflectors_.size());
+  for (const auto& r : reflectors_) {
+    if (r.visible_at(time_s)) out.push_back(r);
+  }
+  return out;
+}
+
+void ReflectorScene::extend(const ReflectorScene& other) {
+  reflectors_.insert(reflectors_.end(), other.reflectors_.begin(),
+                     other.reflectors_.end());
+}
+
+ReflectorScene make_clutter_field(const geometry::ImageGrid& grid,
+                                  Index cell_px, double mean_amplitude,
+                                  sarbp::Rng& rng) {
+  ReflectorScene scene;
+  for (Index cy = 0; cy + cell_px <= grid.height(); cy += cell_px) {
+    for (Index cx = 0; cx + cell_px <= grid.width(); cx += cell_px) {
+      Reflector r;
+      const double fx = static_cast<double>(cx) +
+                        rng.uniform(0.0, static_cast<double>(cell_px - 1));
+      const double fy = static_cast<double>(cy) +
+                        rng.uniform(0.0, static_cast<double>(cell_px - 1));
+      r.position = grid.position_f(fx, fy);
+      // Rayleigh amplitude: |N(0,s) + i N(0,s)| with s chosen so the mean
+      // equals mean_amplitude.
+      const double s = mean_amplitude / 1.2533;  // mean of Rayleigh = s*sqrt(pi/2)
+      r.amplitude = std::hypot(rng.normal(0.0, s), rng.normal(0.0, s));
+      r.phase_rad = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      scene.add(r);
+    }
+  }
+  return scene;
+}
+
+ReflectorScene make_cluster_scene(const geometry::ImageGrid& grid,
+                                  const ClusterSceneParams& params,
+                                  sarbp::Rng& rng) {
+  ReflectorScene scene;
+  const double half_x = 0.4 * grid.extent_x();  // central 80% of the image
+  const double half_y = 0.4 * grid.extent_y();
+  for (int c = 0; c < params.clusters; ++c) {
+    const geometry::Vec3 centre{
+        grid.centre().x + rng.uniform(-half_x, half_x),
+        grid.centre().y + rng.uniform(-half_y, half_y), grid.centre().z};
+    for (int i = 0; i < params.reflectors_per_cluster; ++i) {
+      Reflector r;
+      const double radius = params.cluster_radius_m * std::sqrt(rng.uniform());
+      const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      r.position = centre + geometry::Vec3{radius * std::cos(angle),
+                                           radius * std::sin(angle), 0.0};
+      r.amplitude = rng.uniform(params.amplitude_min, params.amplitude_max);
+      r.phase_rad = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      if (rng.uniform() < params.transient_fraction) {
+        // Half the transients appear mid-collection, half disappear.
+        const double when = rng.uniform(0.0, params.timeline_s);
+        if (rng.uniform() < 0.5) {
+          r.appear_s = when;
+        } else {
+          r.disappear_s = when;
+        }
+      }
+      scene.add(r);
+    }
+  }
+  return scene;
+}
+
+}  // namespace sarbp::sim

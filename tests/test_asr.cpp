@@ -1,0 +1,336 @@
+// ASR machinery tests: Taylor coefficients against finite differences,
+// remainder bound vs measured error (property sweep over block sizes and
+// geometries), strength-reduced table identities, and block planning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "asr/block_plan.h"
+#include "asr/error_model.h"
+#include "asr/quadratic.h"
+#include "asr/tables.h"
+#include "common/rng.h"
+#include "signal/trig.h"
+
+namespace sarbp::asr {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+TEST(Quadratic, ExactAtExpansionCentre) {
+  const geometry::Vec3 centre{100, 200, 0};
+  const geometry::Vec3 radar{15000, 3000, 8000};
+  const Quadratic2D q = range_quadratic(centre, radar, 1.0, 1.0);
+  EXPECT_NEAR(q.f0, geometry::distance(centre, radar), 1e-9);
+  EXPECT_NEAR(q.eval(0, 0), q.f0, 1e-12);
+}
+
+TEST(Quadratic, GradientMatchesFiniteDifference) {
+  const geometry::Vec3 centre{-50, 80, 0};
+  const geometry::Vec3 radar{12000, -4000, 7000};
+  const double dx = 0.7, dy = 1.3;
+  const Quadratic2D q = range_quadratic(centre, radar, dx, dy);
+  const double h = 1e-4;
+  const double dl =
+      (exact_range(centre, radar, dx, dy, h, 0) -
+       exact_range(centre, radar, dx, dy, -h, 0)) / (2 * h);
+  const double dm =
+      (exact_range(centre, radar, dx, dy, 0, h) -
+       exact_range(centre, radar, dx, dy, 0, -h)) / (2 * h);
+  EXPECT_NEAR(q.ax, dl, 1e-7);
+  EXPECT_NEAR(q.ay, dm, 1e-7);
+}
+
+TEST(Quadratic, CurvatureMatchesFiniteDifference) {
+  const geometry::Vec3 centre{30, -20, 0};
+  const geometry::Vec3 radar{9000, 5000, 6000};
+  const double dx = 1.0, dy = 1.0;
+  const Quadratic2D q = range_quadratic(centre, radar, dx, dy);
+  const double h = 1.0;
+  auto f = [&](double l, double m) {
+    return exact_range(centre, radar, dx, dy, l, m);
+  };
+  // Second differences: f_ll ~= 2*bx, f_mm ~= 2*by, f_lm ~= cxy.
+  const double d2l = (f(h, 0) - 2 * f(0, 0) + f(-h, 0)) / (h * h);
+  const double d2m = (f(0, h) - 2 * f(0, 0) + f(0, -h)) / (h * h);
+  const double dlm =
+      (f(h, h) - f(h, -h) - f(-h, h) + f(-h, -h)) / (4 * h * h);
+  EXPECT_NEAR(2 * q.bx, d2l, 1e-8);
+  EXPECT_NEAR(2 * q.by, d2m, 1e-8);
+  EXPECT_NEAR(q.cxy, dlm, 1e-8);
+}
+
+TEST(Quadratic, MatchesPaperFormulaShape) {
+  // Directly check the §3.3 closed forms against the implementation.
+  const geometry::Vec3 centre{500, -300, 0};
+  const geometry::Vec3 radar{14000, 2000, 9000};
+  const geometry::Vec3 u = centre - radar;
+  const double f0 = u.norm();
+  const double dx = 0.8, dy = 1.1;
+  const Quadratic2D q = range_quadratic(centre, radar, dx, dy);
+  EXPECT_NEAR(q.ax, dx * u.x / f0, 1e-12);
+  EXPECT_NEAR(q.ay, dy * u.y / f0, 1e-12);
+  EXPECT_NEAR(q.bx, dx * dx / (2 * f0) - dx * dx * u.x * u.x / (2 * f0 * f0 * f0),
+              1e-15);
+  EXPECT_NEAR(q.cxy, -dx * dy * u.x * u.y / (f0 * f0 * f0), 1e-15);
+}
+
+TEST(Quadratic, CoincidentRadarThrows) {
+  EXPECT_THROW(range_quadratic({1, 1, 0}, {1, 1, 0}, 1, 1), PreconditionError);
+}
+
+struct ErrorCase {
+  Index block;
+  double expected_max_error_m;  // loose ceiling for this geometry
+};
+
+class RemainderSweep : public ::testing::TestWithParam<Index> {};
+
+TEST_P(RemainderSweep, BoundDominatesMeasuredError) {
+  const Index block = GetParam();
+  Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    const geometry::Vec3 radar{rng.uniform(8000, 20000),
+                               rng.uniform(-6000, 6000),
+                               rng.uniform(4000, 10000)};
+    const geometry::Vec3 centre{rng.uniform(-800, 800),
+                                rng.uniform(-800, 800), 0};
+    const double spacing = rng.uniform(0.5, 2.0);
+    const BlockErrorStats measured =
+        measure_block_error(centre, radar, spacing, spacing, block, block);
+    const double bound = taylor_remainder_bound(
+        centre, radar, spacing, spacing,
+        0.5 * static_cast<double>(block), 0.5 * static_cast<double>(block));
+    EXPECT_GE(bound, measured.max_abs_m)
+        << "block " << block << " trial " << trial;
+    EXPECT_GE(measured.max_abs_m, measured.rms_m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, RemainderSweep,
+                         ::testing::Values(8, 16, 32, 64, 128, 256));
+
+TEST(Remainder, ErrorGrowsWithBlockSize) {
+  const geometry::Vec3 radar{15000, 3000, 8000};
+  const geometry::Vec3 centre{200, -100, 0};
+  double previous = 0.0;
+  for (Index block : {16, 32, 64, 128, 256}) {
+    const auto stats =
+        measure_block_error(centre, radar, 1.0, 1.0, block, block);
+    EXPECT_GT(stats.max_abs_m, previous) << "block " << block;
+    previous = stats.max_abs_m;
+  }
+}
+
+TEST(Remainder, ErrorShrinksCubicallyish) {
+  // Halving the block edge should cut the max error by ~8x (third-order
+  // remainder). Accept 5x..11x.
+  const geometry::Vec3 radar{15000, 3000, 8000};
+  const geometry::Vec3 centre{200, -100, 0};
+  const auto big = measure_block_error(centre, radar, 1.0, 1.0, 256, 256);
+  const auto small = measure_block_error(centre, radar, 1.0, 1.0, 128, 128);
+  const double ratio = big.max_abs_m / small.max_abs_m;
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 11.0);
+}
+
+TEST(ErrorModel, SnrFormulaAnchors) {
+  // sigma_phase = 1e-3 rad -> 60 dB.
+  const double k = 1.0 / kTwoPi;  // makes sigma_phase == sigma_r
+  EXPECT_NEAR(phase_error_snr_db(1e-3, k), 60.0, 1e-9);
+  EXPECT_TRUE(std::isinf(phase_error_snr_db(0.0, 64.0)));
+}
+
+TEST(ErrorModel, PredictedSnrInCalibratedRegime) {
+  // DESIGN.md §5: X-band, ~41 km slant range, 0.5 m pixels, 64x64 blocks
+  // should predict SNR in the ~50-80 dB band (Fig. 8 regime).
+  geometry::ImageGrid grid(512, 512, 0.5);
+  const geometry::Vec3 radar{40000, 0, 8000};
+  const double k = 2 * 9.6e9 / 299792458.0;
+  const double snr64 = predicted_snr_db(grid, radar, k, 64, 64);
+  EXPECT_GT(snr64, 45.0);
+  EXPECT_LT(snr64, 110.0);
+  // And it must fall as blocks grow.
+  const double snr256 = predicted_snr_db(grid, radar, k, 256, 256);
+  EXPECT_LT(snr256, snr64);
+}
+
+TEST(Tables, BinTableMatchesQuadraticDirectly) {
+  const geometry::Vec3 radar{15000, 3000, 8000};
+  const geometry::Vec3 centre{100, 50, 0};
+  const Quadratic2D q = range_quadratic(centre, radar, 1.0, 1.0);
+  const double r0 = q.f0 - 400.0;
+  const double dr = 0.42;
+  const Index L = 32, M = 24;
+  BlockTables t;
+  build_block_tables(q, r0, dr, 0.001, L, M, t);
+  const double l0 = -0.5 * static_cast<double>(L - 1);
+  const double m0 = -0.5 * static_cast<double>(M - 1);
+  for (Index m = 0; m < M; m += 3) {
+    for (Index l = 0; l < L; l += 3) {
+      const double expected =
+          (q.eval(static_cast<double>(l) + l0, static_cast<double>(m) + m0) -
+           r0) / dr;
+      EXPECT_NEAR(table_bin(t, l, m), expected, 2e-2) << l << "," << m;
+    }
+  }
+}
+
+TEST(Tables, TrigTablesReconstructPhase) {
+  // Phi[l] * Psi[m] * Gamma[m]^l must equal exp(i*2*pi*k*q(lc, mc)).
+  const geometry::Vec3 radar{12000, -2000, 7000};
+  const geometry::Vec3 centre{-80, 120, 0};
+  const Quadratic2D q = range_quadratic(centre, radar, 1.0, 1.0);
+  const double two_pi_k = kTwoPi * 64.0;
+  const Index L = 16, M = 16;
+  BlockTables t;
+  build_block_tables(q, q.f0 - 100.0, 0.5, two_pi_k, L, M, t);
+  const double l0 = -0.5 * static_cast<double>(L - 1);
+  const double m0 = -0.5 * static_cast<double>(M - 1);
+  for (Index m = 0; m < M; ++m) {
+    // gamma recurrence along l.
+    double g_r = 1.0, g_i = 0.0;
+    for (Index l = 0; l < L; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      const auto mi = static_cast<std::size_t>(m);
+      const double t_r = t.phi_re[li] * g_r - t.phi_im[li] * g_i;
+      const double t_i = t.phi_re[li] * g_i + t.phi_im[li] * g_r;
+      const double a_r = t_r * t.psi_re[mi] - t_i * t.psi_im[mi];
+      const double a_i = t_r * t.psi_im[mi] + t_i * t.psi_re[mi];
+      const double phase =
+          two_pi_k * q.eval(static_cast<double>(l) + l0,
+                            static_cast<double>(m) + m0);
+      EXPECT_NEAR(a_r, std::cos(phase), 5e-5) << l << "," << m;
+      EXPECT_NEAR(a_i, std::sin(phase), 5e-5) << l << "," << m;
+      const double ng_r = g_r * t.gam_re[mi] - g_i * t.gam_im[mi];
+      g_i = g_r * t.gam_im[mi] + g_i * t.gam_re[mi];
+      g_r = ng_r;
+    }
+  }
+}
+
+TEST(Tables, FastBuilderMatchesReference) {
+  // The recurrence-based builder (§4.4 precompute vectorization) must be
+  // interchangeable with the per-entry sincos reference across block
+  // shapes and geometries.
+  Rng rng(91);
+  for (int trial = 0; trial < 6; ++trial) {
+    const geometry::Vec3 radar{rng.uniform(10000, 45000),
+                               rng.uniform(-5000, 5000),
+                               rng.uniform(5000, 9000)};
+    const geometry::Vec3 centre{rng.uniform(-500, 500),
+                                rng.uniform(-500, 500), 0};
+    const Quadratic2D q = range_quadratic(centre, radar, 0.5, 0.5);
+    const double r0 = q.f0 - 300.0;
+    const double two_pi_k = kTwoPi * 64.05;
+    const Index L = 16 + 29 * trial;  // odd sizes, up to 161
+    const Index M = 8 + 37 * trial;
+    BlockTables ref;
+    BlockTables fast;
+    build_block_tables(q, r0, 0.416, two_pi_k, L, M, ref);
+    build_block_tables_fast(q, r0, 0.416, two_pi_k, L, M, fast);
+    for (Index l = 0; l < L; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      ASSERT_NEAR(fast.bin_a[li], ref.bin_a[li], 2e-3) << trial << " l=" << l;
+      ASSERT_NEAR(fast.phi_re[li], ref.phi_re[li], 1e-5) << trial << " l=" << l;
+      ASSERT_NEAR(fast.phi_im[li], ref.phi_im[li], 1e-5) << trial << " l=" << l;
+    }
+    for (Index m = 0; m < M; ++m) {
+      const auto mi = static_cast<std::size_t>(m);
+      ASSERT_NEAR(fast.bin_b[mi], ref.bin_b[mi], 2e-3) << trial << " m=" << m;
+      ASSERT_NEAR(fast.bin_c[mi], ref.bin_c[mi], 1e-5) << trial << " m=" << m;
+      ASSERT_NEAR(fast.psi_re[mi], ref.psi_re[mi], 1e-5) << trial;
+      ASSERT_NEAR(fast.psi_im[mi], ref.psi_im[mi], 1e-5) << trial;
+      ASSERT_NEAR(fast.gam_re[mi], ref.gam_re[mi], 1e-5) << trial;
+      ASSERT_NEAR(fast.gam_im[mi], ref.gam_im[mi], 1e-5) << trial;
+    }
+  }
+}
+
+TEST(Tables, FastBuilderStableOverLongBlocks) {
+  // 512-entry tables: the renormalized recurrence must not drift.
+  const geometry::Vec3 radar{40000, 0, 8000};
+  const geometry::Vec3 centre{0, 0, 0};
+  const Quadratic2D q = range_quadratic(centre, radar, 0.5, 0.5);
+  BlockTables ref;
+  BlockTables fast;
+  build_block_tables(q, q.f0 - 200.0, 0.416, kTwoPi * 64.05, 512, 512, ref);
+  build_block_tables_fast(q, q.f0 - 200.0, 0.416, kTwoPi * 64.05, 512, 512,
+                          fast);
+  float worst = 0.0f;
+  for (Index l = 0; l < 512; ++l) {
+    const auto li = static_cast<std::size_t>(l);
+    worst = std::max(worst, std::abs(fast.phi_re[li] - ref.phi_re[li]));
+    worst = std::max(worst, std::abs(fast.phi_im[li] - ref.phi_im[li]));
+  }
+  EXPECT_LT(worst, 2e-5f);
+  // Magnitudes stay on the unit circle.
+  for (Index l = 0; l < 512; l += 61) {
+    const auto li = static_cast<std::size_t>(l);
+    EXPECT_NEAR(fast.phi_re[li] * fast.phi_re[li] +
+                    fast.phi_im[li] * fast.phi_im[li],
+                1.0f, 1e-4f);
+  }
+}
+
+TEST(Tables, ResizeReusesCapacity) {
+  BlockTables t;
+  t.resize(64, 64);
+  EXPECT_EQ(t.bin_a.size(), 64u);
+  EXPECT_EQ(t.psi_re.size(), 64u);
+  t.resize(16, 8);
+  EXPECT_EQ(t.width, 16);
+  EXPECT_EQ(t.height, 8);
+  EXPECT_EQ(t.bin_a.size(), 16u);
+  EXPECT_EQ(t.bin_b.size(), 8u);
+}
+
+TEST(BlockPlan, CoversRegionExactlyOnce) {
+  const auto blocks = plan_blocks(3, 5, 100, 70, 32, 32);
+  Index covered = 0;
+  for (const auto& b : blocks) {
+    EXPECT_GE(b.x0, 3);
+    EXPECT_GE(b.y0, 5);
+    EXPECT_LE(b.x0 + b.width, 103);
+    EXPECT_LE(b.y0 + b.height, 75);
+    EXPECT_GT(b.width, 0);
+    EXPECT_LE(b.width, 32);
+    covered += b.width * b.height;
+  }
+  EXPECT_EQ(covered, 100 * 70);
+  // No pairwise overlap (sampled).
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      const bool overlap_x = blocks[i].x0 < blocks[j].x0 + blocks[j].width &&
+                             blocks[j].x0 < blocks[i].x0 + blocks[i].width;
+      const bool overlap_y = blocks[i].y0 < blocks[j].y0 + blocks[j].height &&
+                             blocks[j].y0 < blocks[i].y0 + blocks[i].height;
+      EXPECT_FALSE(overlap_x && overlap_y);
+    }
+  }
+}
+
+TEST(BlockPlan, ExactTilingHasUniformBlocks) {
+  const auto blocks = plan_blocks(0, 0, 128, 128, 64, 64);
+  EXPECT_EQ(blocks.size(), 4u);
+  for (const auto& b : blocks) {
+    EXPECT_EQ(b.width, 64);
+    EXPECT_EQ(b.height, 64);
+  }
+}
+
+TEST(BlockPlan, EmptyRegionYieldsNoBlocks) {
+  EXPECT_TRUE(plan_blocks(0, 0, 0, 10, 8, 8).empty());
+}
+
+TEST(BlockPlan, RowMajorOrder) {
+  const auto blocks = plan_blocks(0, 0, 64, 64, 32, 32);
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0].x0, 0);
+  EXPECT_EQ(blocks[1].x0, 32);
+  EXPECT_EQ(blocks[2].y0, 32);
+}
+
+}  // namespace
+}  // namespace sarbp::asr

@@ -1,0 +1,129 @@
+// Fast factorized backprojection tests: equivalence with direct
+// backprojection at small group sizes, accuracy degradation with group
+// size (the alignment-error budget), the work model, and the group=1
+// identity.
+#include <gtest/gtest.h>
+
+#include "backprojection/ffbp.h"
+#include "common/snr.h"
+#include "test_helpers.h"
+
+namespace sarbp::bp {
+namespace {
+
+using sarbp::testing::ScenarioConfig;
+using sarbp::testing::SmallScenario;
+using sarbp::testing::make_scenario;
+
+class FfbpTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig cfg;
+    cfg.image = 128;
+    cfg.pulses = 64;
+    cfg.fidelity = sim::CollectionFidelity::kIdealResponse;
+    scenario_ = new SmallScenario(make_scenario(cfg));
+    // The equivalence reference consumes the same band-limited-upsampled
+    // data FFBP does, so the comparison isolates FFBP's own approximation
+    // (group alignment + tile resampling) from interpolation-chain
+    // differences on near-critically-sampled profiles.
+    const sim::PhaseHistory upsampled = scenario_->history.upsampled(4);
+    direct_ = new Grid2D<CFloat>(128, 128);
+    SoaTile tile(128, 128);
+    backproject_asr_simd(upsampled, scenario_->grid, Region{0, 0, 128, 128},
+                         0, upsampled.num_pulses(), 64, 64,
+                         geometry::LoopOrder::kXInner, tile);
+    tile.accumulate_into(*direct_, Region{0, 0, 128, 128});
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    delete direct_;
+    scenario_ = nullptr;
+    direct_ = nullptr;
+  }
+  static SmallScenario* scenario_;
+  static Grid2D<CFloat>* direct_;
+};
+
+SmallScenario* FfbpTest::scenario_ = nullptr;
+Grid2D<CFloat>* FfbpTest::direct_ = nullptr;
+
+TEST_F(FfbpTest, GroupOfOneMatchesDirectClosely) {
+  FfbpOptions options;
+  options.group = 1;
+  options.tile = 64;
+  const auto img = ffbp_form_image(scenario_->history, scenario_->grid,
+                                   options);
+  // group=1 performs no pulse combining, only the tile-local resampling of
+  // the (upsampled) pulse data — one extra linear interpolation per sample.
+  EXPECT_GT(snr_db(img, *direct_), 33.0);
+}
+
+TEST_F(FfbpTest, SmallGroupsReproduceDirectImage) {
+  FfbpOptions options;
+  options.group = 4;
+  options.tile = 32;
+  const auto img = ffbp_form_image(scenario_->history, scenario_->grid,
+                                   options);
+  EXPECT_GT(snr_db(img, *direct_), 24.0);
+}
+
+TEST_F(FfbpTest, AccuracyDegradesWithGroupSize) {
+  FfbpOptions small;
+  small.group = 2;
+  small.tile = 32;
+  FfbpOptions large;
+  large.group = 16;
+  large.tile = 32;
+  const double snr_small = snr_db(
+      ffbp_form_image(scenario_->history, scenario_->grid, small), *direct_);
+  const double snr_large = snr_db(
+      ffbp_form_image(scenario_->history, scenario_->grid, large), *direct_);
+  EXPECT_GT(snr_small, snr_large);
+}
+
+TEST_F(FfbpTest, SmallerTilesAreMoreAccurate) {
+  FfbpOptions small;
+  small.group = 8;
+  small.tile = 16;
+  FfbpOptions large;
+  large.group = 8;
+  large.tile = 128;
+  const double snr_small = snr_db(
+      ffbp_form_image(scenario_->history, scenario_->grid, small), *direct_);
+  const double snr_large = snr_db(
+      ffbp_form_image(scenario_->history, scenario_->grid, large), *direct_);
+  EXPECT_GT(snr_small, snr_large);
+}
+
+TEST(FfbpModel, AlignmentErrorScalesLinearly) {
+  const double base = ffbp_alignment_error(4, 1e-4, 50.0);
+  EXPECT_NEAR(ffbp_alignment_error(8, 1e-4, 50.0), 2.0 * base, 1e-12);
+  EXPECT_NEAR(ffbp_alignment_error(4, 1e-4, 100.0), 2.0 * base, 1e-12);
+  EXPECT_NEAR(base, 0.5 * 4 * 1e-4 * 50.0, 1e-12);
+}
+
+TEST(FfbpModel, WorkFractionDropsWithGroupSize) {
+  FfbpOptions o2;
+  o2.group = 2;
+  FfbpOptions o8;
+  o8.group = 8;
+  const double f2 = ffbp_work_fraction(o2, 2048, 2048, 256);
+  const double f8 = ffbp_work_fraction(o8, 2048, 2048, 256);
+  EXPECT_LT(f8, f2);
+  EXPECT_LT(f2, 1.0);
+}
+
+TEST(FfbpModel, RejectsBadOptions) {
+  ScenarioConfig cfg;
+  cfg.image = 32;
+  cfg.pulses = 4;
+  const SmallScenario s = make_scenario(cfg);
+  FfbpOptions bad;
+  bad.group = 0;
+  EXPECT_THROW((void)ffbp_form_image(s.history, s.grid, bad),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace sarbp::bp

@@ -1,0 +1,242 @@
+// FFT correctness: against the O(n^2) DFT, round-trip identity, Parseval,
+// linearity, known closed forms, and Bluestein (non-power-of-two) parity —
+// parameterized over a broad size sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/grid2d.h"
+#include "signal/fft.h"
+#include "signal/fft2d.h"
+
+namespace sarbp::signal {
+namespace {
+
+using std::complex;
+
+std::vector<complex<double>> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<complex<double>> v(n);
+  for (auto& x : v) x = {rng.normal(), rng.normal()};
+  return v;
+}
+
+/// Direct O(n^2) DFT, forward convention exp(-2*pi*i*jk/n).
+std::vector<complex<double>> direct_dft(const std::vector<complex<double>>& x) {
+  const std::size_t n = x.size();
+  std::vector<complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    complex<double> acc{};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(j * k % n) /
+                           static_cast<double>(n);
+      acc += x[j] * complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+double max_abs_diff(const std::vector<complex<double>>& a,
+                    const std::vector<complex<double>>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesDirectDft) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 100 + n);
+  const auto expected = direct_dft(x);
+  fft<double>(x, FftDirection::kForward);
+  EXPECT_LT(max_abs_diff(x, expected), 1e-9 * static_cast<double>(n))
+      << "size " << n;
+}
+
+TEST_P(FftSizes, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const auto original = random_signal(n, 200 + n);
+  auto x = original;
+  Fft<double> plan(n);
+  plan.forward(x);
+  plan.inverse(x);
+  EXPECT_LT(max_abs_diff(x, original), 1e-10 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 300 + n);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  fft<double>(x, FftDirection::kForward);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy);
+}
+
+TEST_P(FftSizes, Linearity) {
+  const std::size_t n = GetParam();
+  auto a = random_signal(n, 400 + n);
+  auto b = random_signal(n, 500 + n);
+  std::vector<complex<double>> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  Fft<double> plan(n);
+  plan.forward(a);
+  plan.forward(b);
+  plan.forward(sum);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(sum[i] - (2.0 * a[i] + 3.0 * b[i])));
+  }
+  EXPECT_LT(worst, 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024));
+INSTANTIATE_TEST_SUITE_P(Bluestein, FftSizes,
+                         ::testing::Values(3, 5, 6, 7, 12, 31, 61, 100, 241,
+                                           1000));
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<complex<double>> x(16, complex<double>{});
+  x[0] = 1.0;
+  fft<double>(x, FftDirection::kForward);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t tone = 5;
+  std::vector<complex<double>> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(tone * j) /
+                         static_cast<double>(n);
+    x[j] = {std::cos(angle), std::sin(angle)};
+  }
+  fft<double>(x, FftDirection::kForward);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == tone) {
+      EXPECT_NEAR(std::abs(x[k]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, FloatPrecisionRoundTrip) {
+  Rng rng(77);
+  std::vector<complex<float>> x(512);
+  for (auto& v : x) {
+    v = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+  }
+  const auto original = x;
+  Fft<float> plan(512);
+  plan.forward(x);
+  plan.inverse(x);
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, std::abs(x[i] - original[i]));
+  }
+  EXPECT_LT(worst, 1e-4f);
+}
+
+TEST(Fft, NextPowerOfTwo) {
+  EXPECT_EQ(Fft<double>::next_power_of_two(1), 1u);
+  EXPECT_EQ(Fft<double>::next_power_of_two(2), 2u);
+  EXPECT_EQ(Fft<double>::next_power_of_two(3), 4u);
+  EXPECT_EQ(Fft<double>::next_power_of_two(1000), 1024u);
+  EXPECT_EQ(Fft<double>::next_power_of_two(1024), 1024u);
+}
+
+TEST(Fft, IsPowerOfTwo) {
+  EXPECT_TRUE(Fft<double>::is_power_of_two(1));
+  EXPECT_TRUE(Fft<double>::is_power_of_two(64));
+  EXPECT_FALSE(Fft<double>::is_power_of_two(0));
+  EXPECT_FALSE(Fft<double>::is_power_of_two(63));
+}
+
+TEST(Fft, SizeMismatchThrows) {
+  Fft<double> plan(8);
+  std::vector<complex<double>> x(7);
+  EXPECT_THROW(plan.forward(x), PreconditionError);
+}
+
+TEST(Fft2D, SeparableToneLandsInOneBin) {
+  const Index w = 16, h = 8;
+  Grid2D<complex<double>> g(w, h);
+  const Index fx = 3, fy = 2;
+  for (Index y = 0; y < h; ++y) {
+    for (Index x = 0; x < w; ++x) {
+      const double angle =
+          2.0 * std::numbers::pi *
+          (static_cast<double>(fx * x) / static_cast<double>(w) +
+           static_cast<double>(fy * y) / static_cast<double>(h));
+      g.at(x, y) = {std::cos(angle), std::sin(angle)};
+    }
+  }
+  Fft2D<double> plan(w, h);
+  plan.forward(g);
+  for (Index y = 0; y < h; ++y) {
+    for (Index x = 0; x < w; ++x) {
+      const double expected = (x == fx && y == fy) ? static_cast<double>(w * h) : 0.0;
+      EXPECT_NEAR(std::abs(g.at(x, y)), expected, 1e-8);
+    }
+  }
+}
+
+TEST(Fft2D, RoundTrip) {
+  Rng rng(31);
+  Grid2D<complex<double>> g(12, 10);  // non-power-of-two both axes
+  for (auto& v : g.flat()) v = {rng.normal(), rng.normal()};
+  Grid2D<complex<double>> original = g;
+  Fft2D<double> plan(12, 10);
+  plan.forward(g);
+  plan.inverse(g);
+  double worst = 0.0;
+  for (Index i = 0; i < g.size(); ++i) {
+    worst = std::max(worst, std::abs(g.flat()[static_cast<std::size_t>(i)] -
+                                     original.flat()[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_LT(worst, 1e-10);
+}
+
+TEST(Fft2D, MatchesRowColumnComposition) {
+  Rng rng(41);
+  const Index w = 8, h = 4;
+  Grid2D<complex<double>> g(w, h);
+  for (auto& v : g.flat()) v = {rng.normal(), rng.normal()};
+  Grid2D<complex<double>> expected = g;
+  // Manual: FFT rows then columns.
+  Fft<double> row_plan(static_cast<std::size_t>(w));
+  for (Index y = 0; y < h; ++y) row_plan.forward(expected.row(y));
+  Fft<double> col_plan(static_cast<std::size_t>(h));
+  std::vector<complex<double>> col(static_cast<std::size_t>(h));
+  for (Index x = 0; x < w; ++x) {
+    for (Index y = 0; y < h; ++y) col[static_cast<std::size_t>(y)] = expected.at(x, y);
+    col_plan.forward(col);
+    for (Index y = 0; y < h; ++y) expected.at(x, y) = col[static_cast<std::size_t>(y)];
+  }
+  Fft2D<double> plan(w, h);
+  plan.forward(g);
+  for (Index i = 0; i < g.size(); ++i) {
+    EXPECT_LT(std::abs(g.flat()[static_cast<std::size_t>(i)] -
+                       expected.flat()[static_cast<std::size_t>(i)]),
+              1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace sarbp::signal

@@ -1,0 +1,200 @@
+// Geometry tests: Vec3 algebra, image grid coordinate maps, trajectory
+// generation and error injection, wavefront-driven loop-order choice, and
+// the analytic gather-locality expectation (the paper's 5 -> 17 numbers).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/grid.h"
+#include "geometry/trajectory.h"
+#include "geometry/vec3.h"
+#include "geometry/wavefront.h"
+
+namespace sarbp::geometry {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+}
+
+TEST(Vec3, DotCrossNorm) {
+  const Vec3 a{1, 0, 0};
+  const Vec3 b{0, 1, 0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_EQ(a.cross(b), (Vec3{0, 0, 1}));
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).norm(), 5.0);
+  EXPECT_NEAR((Vec3{3, 4, 0}).normalized().norm(), 1.0, 1e-12);
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {3, 4, 0}), 5.0);
+}
+
+TEST(ImageGrid, CentrePixelIsSceneCentre) {
+  // Odd dimensions: the exact middle pixel lands on the centre.
+  ImageGrid grid(101, 101, 2.0, Vec3{10, 20, 0});
+  const Vec3 p = grid.position(50, 50);
+  EXPECT_NEAR(p.x, 10.0, 1e-12);
+  EXPECT_NEAR(p.y, 20.0, 1e-12);
+}
+
+TEST(ImageGrid, SpacingBetweenAdjacentPixels) {
+  ImageGrid grid(64, 64, 1.5);
+  const Vec3 a = grid.position(10, 10);
+  const Vec3 b = grid.position(11, 10);
+  const Vec3 c = grid.position(10, 11);
+  EXPECT_NEAR(b.x - a.x, 1.5, 1e-12);
+  EXPECT_NEAR(c.y - a.y, 1.5, 1e-12);
+}
+
+TEST(ImageGrid, InverseMapRoundTrips) {
+  ImageGrid grid(64, 32, 0.5, Vec3{-5, 3, 0});
+  for (Index x : {0, 7, 63}) {
+    for (Index y : {0, 15, 31}) {
+      const Vec3 p = grid.position(x, y);
+      EXPECT_NEAR(grid.pixel_x(p.x), static_cast<double>(x), 1e-9);
+      EXPECT_NEAR(grid.pixel_y(p.y), static_cast<double>(y), 1e-9);
+    }
+  }
+}
+
+TEST(ImageGrid, FractionalPositionInterpolates) {
+  ImageGrid grid(16, 16, 1.0);
+  const Vec3 a = grid.position(3, 4);
+  const Vec3 b = grid.position(4, 4);
+  const Vec3 mid = grid.position_f(3.5, 4.0);
+  EXPECT_NEAR(mid.x, 0.5 * (a.x + b.x), 1e-12);
+}
+
+TEST(ImageGrid, Extents) {
+  ImageGrid grid(100, 50, 2.0);
+  EXPECT_DOUBLE_EQ(grid.extent_x(), 200.0);
+  EXPECT_DOUBLE_EQ(grid.extent_y(), 100.0);
+}
+
+TEST(Orbit, SlantRange) {
+  OrbitParams orbit;
+  orbit.radius_m = 3000.0;
+  orbit.altitude_m = 4000.0;
+  EXPECT_DOUBLE_EQ(orbit.slant_range(), 5000.0);
+}
+
+TEST(Trajectory, PoseCountAndTiming) {
+  OrbitParams orbit;
+  orbit.prf_hz = 100.0;
+  TrajectoryErrorModel errors;
+  Rng rng(1);
+  const auto poses = circular_orbit(orbit, errors, 50, rng);
+  ASSERT_EQ(poses.size(), 50u);
+  EXPECT_DOUBLE_EQ(poses[0].time_s, 0.0);
+  EXPECT_NEAR(poses[10].time_s, 0.1, 1e-12);
+}
+
+TEST(Trajectory, StaysNearIdealOrbit) {
+  OrbitParams orbit;
+  TrajectoryErrorModel errors;
+  errors.perturbation_sigma_m = 0.1;
+  Rng rng(2);
+  const auto poses = circular_orbit(orbit, errors, 200, rng);
+  for (const auto& pose : poses) {
+    const double horizontal =
+        std::hypot(pose.true_position.x, pose.true_position.y);
+    EXPECT_NEAR(horizontal, orbit.radius_m, 1.0);
+    EXPECT_NEAR(pose.true_position.z, orbit.altitude_m, 1.0);
+  }
+}
+
+TEST(Trajectory, RecordedBiasAppliesToRecordedOnly) {
+  OrbitParams orbit;
+  TrajectoryErrorModel errors;
+  errors.perturbation_sigma_m = 0.0;
+  errors.recorded_bias = Vec3{1.5, -2.0, 0.25};
+  Rng rng(3);
+  const auto poses = circular_orbit(orbit, errors, 10, rng);
+  for (const auto& pose : poses) {
+    const Vec3 d = pose.recorded_position - pose.true_position;
+    EXPECT_NEAR(d.x, 1.5, 1e-12);
+    EXPECT_NEAR(d.y, -2.0, 1e-12);
+    EXPECT_NEAR(d.z, 0.25, 1e-12);
+  }
+}
+
+TEST(Trajectory, ZeroSigmaIsIdealOrbit) {
+  OrbitParams orbit;
+  TrajectoryErrorModel errors;
+  errors.perturbation_sigma_m = 0.0;
+  Rng rng(4);
+  const auto poses = circular_orbit(orbit, errors, 5, rng);
+  for (const auto& pose : poses) {
+    const double horizontal =
+        std::hypot(pose.true_position.x, pose.true_position.y);
+    EXPECT_NEAR(horizontal, orbit.radius_m, 1e-9);
+  }
+}
+
+TEST(Trajectory, ApertureAngleAdvances) {
+  OrbitParams orbit;
+  orbit.angular_rate_rad_s = 0.05;
+  orbit.prf_hz = 10.0;
+  TrajectoryErrorModel errors;
+  Rng rng(5);
+  const auto poses = circular_orbit(orbit, errors, 3, rng);
+  EXPECT_NEAR(poses[1].aperture_angle_rad - poses[0].aperture_angle_rad,
+              0.005, 1e-12);
+}
+
+TEST(Wavefront, LookAlongXPrefersYInner) {
+  // Radar east of the scene: look direction along x; iterate y first
+  // (paper Fig. 6).
+  EXPECT_EQ(choose_loop_order({20000, 0, 5000}, {0, 0, 0}),
+            LoopOrder::kYInner);
+}
+
+TEST(Wavefront, LookAlongYPrefersXInner) {
+  EXPECT_EQ(choose_loop_order({0, 20000, 5000}, {0, 0, 0}),
+            LoopOrder::kXInner);
+}
+
+TEST(Wavefront, PaperLocalityNumbers) {
+  // Paper §4.3: with the imaging-region edge 1/10 of the scene-to-radar
+  // distance, ~5 consecutive same-bin accesses without reordering and ~17
+  // with it. Geometry: radar along x at distance R, image edge R/10,
+  // bin spacing == pixel spacing (the ratio the numbers imply).
+  const double standoff = 20000.0;
+  const Index n = 512;
+  const double spacing = standoff / 10.0 / static_cast<double>(n);
+  ImageGrid grid(n, n, spacing);
+  const Vec3 radar{standoff, 0.0, 0.0};
+  const double bin_spacing = spacing;
+
+  const double bad = expected_consecutive_same_bin(radar, grid, bin_spacing,
+                                                   LoopOrder::kXInner);
+  const double good = expected_consecutive_same_bin(radar, grid, bin_spacing,
+                                                    LoopOrder::kYInner);
+  // Walking x (the range direction) changes r by ~spacing per step: ~1.
+  EXPECT_NEAR(bad, 1.0, 0.2);
+  // Walking y (tangent) changes r by ~ (y/r)*spacing; averaged over the
+  // image this is ~ edge/(4r) * spacing -> tens of consecutive accesses.
+  EXPECT_GT(good, 10.0);
+  EXPECT_GT(good / bad, 5.0);
+}
+
+TEST(Wavefront, LocalityImprovesWithReordering) {
+  ImageGrid grid(256, 256, 1.0);
+  const Vec3 radar{15000, 2000, 8000};
+  const LoopOrder chosen = choose_loop_order(radar, grid.centre());
+  const LoopOrder other = chosen == LoopOrder::kXInner ? LoopOrder::kYInner
+                                                       : LoopOrder::kXInner;
+  const double with = expected_consecutive_same_bin(radar, grid, 0.5, chosen);
+  const double without = expected_consecutive_same_bin(radar, grid, 0.5, other);
+  EXPECT_GE(with, without);
+}
+
+}  // namespace
+}  // namespace sarbp::geometry

@@ -1,0 +1,145 @@
+// Partitioner tests: coverage/disjointness of the 3D cube decomposition,
+// the image-first / pulses-last policy of §4.2, and balance — swept over
+// worker counts and cube shapes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "backprojection/partition.h"
+
+namespace sarbp::bp {
+namespace {
+
+TEST(ChoosePartition, SingleWorkerIsWholeCube) {
+  const CubeShape shape{100, 512, 512};
+  const auto c = choose_partition(shape, 1, 64);
+  EXPECT_EQ(c.parts_x, 1);
+  EXPECT_EQ(c.parts_y, 1);
+  EXPECT_EQ(c.parts_pulse, 1);
+}
+
+TEST(ChoosePartition, PrefersImageSplitsOverPulseSplits) {
+  // A big image: all workers should land in the image dimensions.
+  const CubeShape shape{1000, 2048, 2048};
+  for (Index workers : {2, 4, 8, 16}) {
+    const auto c = choose_partition(shape, workers, 64);
+    EXPECT_EQ(c.parts_pulse, 1) << workers;
+    EXPECT_EQ(c.total(), workers);
+  }
+}
+
+TEST(ChoosePartition, SplitsPulsesWhenTilesWouldBeTooSmall) {
+  // §4.2: "We resort to partitioning input pulses only when the partition
+  // size of output image pixels becomes smaller than the ASR block size."
+  const CubeShape shape{1000, 64, 64};
+  const auto c = choose_partition(shape, 16, 64);
+  EXPECT_GT(c.parts_pulse, 1);
+  EXPECT_EQ(c.total(), 16);
+}
+
+TEST(ChoosePartition, PrefersSquareTiles) {
+  const CubeShape shape{100, 1024, 1024};
+  const auto c = choose_partition(shape, 16, 64);
+  EXPECT_EQ(c.parts_x, 4);
+  EXPECT_EQ(c.parts_y, 4);
+}
+
+TEST(ChoosePartition, HandlesMoreWorkersThanPulses) {
+  const CubeShape shape{2, 32, 32};
+  const auto c = choose_partition(shape, 8, 64);
+  EXPECT_LE(c.parts_pulse, 2);
+  EXPECT_GE(c.total(), 1);
+}
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<Index, Index, Index, Index>> {
+};
+
+TEST_P(PartitionSweep, CoversCubeExactlyOnce) {
+  const auto [pulses, w, h, workers] = GetParam();
+  const CubeShape shape{pulses, w, h};
+  const auto choice = choose_partition(shape, workers, 16);
+  const auto parts = partition_cube(shape, choice);
+  EXPECT_EQ(static_cast<Index>(parts.size()), choice.total());
+
+  // Each (pulse, x, y) cell covered exactly once: verify by volume plus
+  // pairwise disjointness.
+  Index volume = 0;
+  for (const auto& part : parts) {
+    EXPECT_GE(part.pulse_begin, 0);
+    EXPECT_LE(part.pulse_end, pulses);
+    EXPECT_GE(part.region.x0, 0);
+    EXPECT_LE(part.region.x0 + part.region.width, w);
+    EXPECT_LE(part.region.y0 + part.region.height, h);
+    volume += (part.pulse_end - part.pulse_begin) * part.region.pixels();
+  }
+  EXPECT_EQ(volume, pulses * w * h);
+
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (std::size_t j = i + 1; j < parts.size(); ++j) {
+      const auto& a = parts[i];
+      const auto& b = parts[j];
+      const bool pulse_overlap =
+          a.pulse_begin < b.pulse_end && b.pulse_begin < a.pulse_end;
+      const bool x_overlap =
+          a.region.x0 < b.region.x0 + b.region.width &&
+          b.region.x0 < a.region.x0 + a.region.width;
+      const bool y_overlap =
+          a.region.y0 < b.region.y0 + b.region.height &&
+          b.region.y0 < a.region.y0 + a.region.height;
+      EXPECT_FALSE(pulse_overlap && x_overlap && y_overlap)
+          << "parts " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST_P(PartitionSweep, WorkIsBalanced) {
+  const auto [pulses, w, h, workers] = GetParam();
+  const CubeShape shape{pulses, w, h};
+  const auto choice = choose_partition(shape, workers, 16);
+  const auto parts = partition_cube(shape, choice);
+  Index lo = parts[0].region.pixels() * (parts[0].pulse_end - parts[0].pulse_begin);
+  Index hi = lo;
+  for (const auto& part : parts) {
+    const Index work =
+        part.region.pixels() * (part.pulse_end - part.pulse_begin);
+    lo = std::min(lo, work);
+    hi = std::max(hi, work);
+  }
+  // Split remainders cost at most one row/column/pulse slab per dimension.
+  EXPECT_LT(static_cast<double>(hi - lo), 0.35 * static_cast<double>(hi) + 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionSweep,
+    ::testing::Values(std::make_tuple(Index{100}, Index{256}, Index{256}, Index{4}),
+                      std::make_tuple(Index{17}, Index{130}, Index{94}, Index{6}),
+                      std::make_tuple(Index{1}, Index{512}, Index{512}, Index{8}),
+                      std::make_tuple(Index{64}, Index{64}, Index{64}, Index{16}),
+                      std::make_tuple(Index{1000}, Index{33}, Index{65}, Index{12}),
+                      std::make_tuple(Index{5}, Index{1024}, Index{16}, Index{3})));
+
+TEST(SplitBegin, EvenSplitBoundaries) {
+  EXPECT_EQ(split_begin(100, 4, 0), 0);
+  EXPECT_EQ(split_begin(100, 4, 2), 50);
+  EXPECT_EQ(split_begin(100, 4, 4), 100);
+  // Uneven: 10 into 3 -> 0,3,6,10.
+  EXPECT_EQ(split_begin(10, 3, 1), 3);
+  EXPECT_EQ(split_begin(10, 3, 2), 6);
+  EXPECT_EQ(split_begin(10, 3, 3), 10);
+}
+
+TEST(Region, BasicPredicates) {
+  const Region r{10, 20, 5, 4};
+  EXPECT_EQ(r.pixels(), 20);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.contains(10, 20));
+  EXPECT_TRUE(r.contains(14, 23));
+  EXPECT_FALSE(r.contains(15, 23));
+  EXPECT_FALSE(r.contains(9, 20));
+  EXPECT_TRUE((Region{0, 0, 0, 5}).empty());
+}
+
+}  // namespace
+}  // namespace sarbp::bp

@@ -1,0 +1,186 @@
+// Performance-model tests: the FLOP formulas against the paper's Table 1
+// numbers, the weak-scaling projection against Table 4/5 shapes, and the
+// scenario scaling rules.
+#include <gtest/gtest.h>
+
+#include "perfmodel/flops.h"
+#include "perfmodel/projection.h"
+
+namespace sarbp::perfmodel {
+namespace {
+
+TEST(Flops, BackprojectionIs38PerPair) {
+  EXPECT_DOUBLE_EQ(backprojection_flops(1, 1, 1), 38.0);
+  EXPECT_DOUBLE_EQ(backprojection_flops(10, 100, 200), 38.0 * 10 * 100 * 200);
+}
+
+TEST(Flops, Fft2dFormula) {
+  // 10 n^2 log2 n at n = 64: 10 * 4096 * 6.
+  EXPECT_DOUBLE_EQ(fft2d_flops(64), 245760.0);
+}
+
+TEST(Flops, Table1BackprojectionRequirement) {
+  // Paper Table 1: backprojection 347 TFLOPS for the high-end scenario.
+  const HighEndScenario s;
+  const ComputeRequirements r = compute_requirements(s);
+  EXPECT_NEAR(r.backprojection_tflops, 347.0, 4.0);
+}
+
+TEST(Flops, Table1CorrelationRequirement) {
+  // Paper Table 1: 2D-correlation 0.7 TFLOPS (929K patch correlations at
+  // the padded 64x64 FFT size, three transforms each).
+  const HighEndScenario s;
+  const ComputeRequirements r = compute_requirements(s);
+  EXPECT_NEAR(r.correlation_tflops, 0.7, 0.1);
+}
+
+TEST(Flops, Table1InterpolationRequirement) {
+  // Paper Table 1: interpolation 0.2 TFLOPS (54 FLOPs x 57K^2 pixels).
+  const HighEndScenario s;
+  const ComputeRequirements r = compute_requirements(s);
+  EXPECT_NEAR(r.interpolation_tflops, 0.2, 0.05);
+}
+
+TEST(Flops, Table1CcdRequirement) {
+  // Paper Table 1: CCD 3 TFLOPS (40 x 25 x 57K^2).
+  const HighEndScenario s;
+  const ComputeRequirements r = compute_requirements(s);
+  EXPECT_NEAR(r.ccd_tflops, 3.0, 0.3);
+}
+
+TEST(Flops, Table1TotalAndDominance) {
+  // Paper: total 351 TFLOPS, backprojection "more than 98% of the total
+  // FLOP count".
+  const HighEndScenario s;
+  const ComputeRequirements r = compute_requirements(s);
+  EXPECT_NEAR(r.total_tflops(), 351.0, 4.0);
+  EXPECT_GT(r.backprojection_fraction(), 0.98);
+}
+
+TEST(Flops, Footnote3MemoryRequirements) {
+  // Paper footnote 3: incremental backprojection raises memory from ~100
+  // to ~948 GB (119 Xeon Phis at 8 GB); compute alone needs >182 cards.
+  const HighEndScenario s;
+  const MemoryRequirements m = memory_requirements(s);
+  EXPECT_NEAR(m.direct_gb, 100.0, 20.0);
+  EXPECT_NEAR(m.incremental_gb, 948.0, 30.0);
+  EXPECT_GE(m.coprocessors_for_memory, 115);
+  EXPECT_LE(m.coprocessors_for_memory, 122);
+  EXPECT_GT(m.coprocessors_for_compute, 182);
+  // And the paper's conclusion: compute dominates the card count.
+  EXPECT_GT(m.coprocessors_for_compute, m.coprocessors_for_memory);
+}
+
+TEST(Scaling, ScenarioRulesMatchTable4) {
+  // Table 4: (nodes, image, k, S) = (1, 3K, 2, 4K) ... (16, 13K, 9, 19K).
+  EXPECT_NEAR(static_cast<double>(samples_for_image(3000)), 4350, 500);
+  EXPECT_NEAR(static_cast<double>(samples_for_image(13000)), 18850, 1500);
+  EXPECT_NEAR(accumulation_for_image(3000), 2, 1);
+  EXPECT_NEAR(accumulation_for_image(13000), 9, 1);
+  EXPECT_NEAR(accumulation_for_image(54000), 33, 3);  // Table 5 last row
+}
+
+TEST(Scaling, ControlPointDensityIsConstant) {
+  const Index nc57 = control_points_for_image(57000);
+  EXPECT_NEAR(static_cast<double>(nc57), 929000.0, 1000.0);
+  const Index nc28 = control_points_for_image(28500);
+  EXPECT_NEAR(static_cast<double>(nc28), 929000.0 / 4.0, 1000.0);
+}
+
+TEST(Projection, SingleNodeRealtimeImageNearPaper3K) {
+  // §5.1: "a single node can process one 3K x 3K image per second".
+  const NodeModel model;
+  const Index image = largest_realtime_image(model, 1);
+  EXPECT_GE(image, 2000);
+  EXPECT_LE(image, 4000);
+}
+
+TEST(Projection, SixteenNodeRealtimeImageNearPaper13K) {
+  const NodeModel model;
+  const Index image = largest_realtime_image(model, 16);
+  EXPECT_GE(image, 11000);
+  EXPECT_LE(image, 15000);
+}
+
+TEST(Projection, Table5NodeCounts) {
+  // Table 5: 32 -> 18K, 64 -> 27K, 128 -> 38K, 256 -> 54K (within ~15%).
+  const NodeModel model;
+  const struct {
+    Index nodes;
+    double image;
+  } expected[] = {{32, 18000}, {64, 27000}, {128, 38000}, {256, 54000}};
+  for (const auto& row : expected) {
+    const Index image = largest_realtime_image(model, row.nodes);
+    EXPECT_NEAR(static_cast<double>(image), row.image, 0.15 * row.image)
+        << row.nodes << " nodes";
+  }
+}
+
+TEST(Projection, ThroughputScalesNearLinearly) {
+  const NodeModel model;
+  const Index counts[] = {1, 2, 4, 8, 16};
+  const auto points = weak_scaling_projection(model, counts);
+  ASSERT_EQ(points.size(), 5u);
+  const double base = points[0].throughput_bp_per_s;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double ideal = base * static_cast<double>(points[i].nodes);
+    EXPECT_GT(points[i].throughput_bp_per_s, 0.80 * ideal);
+    EXPECT_LT(points[i].throughput_bp_per_s, 1.15 * ideal);
+  }
+}
+
+TEST(Projection, SingleNodeThroughputNearPaper35G) {
+  // Table 4 row 1: 35 billion backprojections/s on one node.
+  const NodeModel model;
+  const ScalingPoint p = evaluate_point(model, 1, 3000);
+  EXPECT_NEAR(p.throughput_bp_per_s / 1e9, 35.0, 5.0);
+}
+
+TEST(Projection, EfficiencyHighAndBackprojectionDominant) {
+  // Table 4/5: parallelization efficiency 0.92-1.00; registration + CCD
+  // stay small fractions (paper keeps non-BP compute < 4%).
+  const NodeModel model;
+  for (Index nodes : {1, 16, 64, 256}) {
+    const Index image = largest_realtime_image(model, nodes);
+    const ScalingPoint p = evaluate_point(model, nodes, image);
+    EXPECT_GT(p.parallel_efficiency, 0.90) << nodes;
+    EXPECT_LE(p.parallel_efficiency, 1.0) << nodes;
+    EXPECT_LT((p.t_registration + p.t_ccd) / p.frame_seconds(), 0.1) << nodes;
+  }
+}
+
+TEST(Projection, TransfersStayUnderComputeBudget) {
+  // §5.4: "data transfer times (through PCIe, MPI and disk I/O) will be
+  // kept considerably smaller than the compute time."
+  const NodeModel model;
+  for (Index nodes : {32, 64, 128, 256}) {
+    const Index image = largest_realtime_image(model, nodes);
+    const ScalingPoint p = evaluate_point(model, nodes, image);
+    EXPECT_LT(p.t_pcie, 0.3 * p.frame_seconds()) << nodes;
+    EXPECT_LT(p.t_mpi, 0.3 * p.frame_seconds()) << nodes;
+    EXPECT_LT(p.t_disk, 0.5 * p.frame_seconds()) << nodes;
+  }
+}
+
+TEST(Projection, HighEndScenarioFitsInRoughly256Nodes) {
+  // Paper abstract/§1: "the aforementioned high-end scenario can be
+  // handled by approximately 256 nodes" (57K x 57K).
+  const NodeModel model;
+  const Index image_at_256 = largest_realtime_image(model, 256);
+  EXPECT_GT(image_at_256, 45000);
+  const Index image_at_512 = largest_realtime_image(model, 512);
+  EXPECT_GT(image_at_512, 57000 * 9 / 10);
+}
+
+TEST(Projection, FrameSecondsMonotoneInImage) {
+  const NodeModel model;
+  double prev = 0.0;
+  for (Index image : {2000, 4000, 8000, 16000}) {
+    const ScalingPoint p = evaluate_point(model, 4, image);
+    EXPECT_GT(p.frame_seconds(), prev);
+    prev = p.frame_seconds();
+  }
+}
+
+}  // namespace
+}  // namespace sarbp::perfmodel

@@ -1,0 +1,321 @@
+// Signal-chain tests: windows, chirp synthesis, matched-filter range
+// compression (peak position/phase), interpolators, and the baseline's
+// polynomial trig with double/single argument reduction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.h"
+#include "signal/chirp.h"
+#include "signal/interp.h"
+#include "signal/rangecomp.h"
+#include "signal/trig.h"
+#include "signal/window.h"
+
+namespace sarbp::signal {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Window, RectIsAllOnes) {
+  const auto w = make_window(WindowKind::kRect, 8);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannEndsAtZeroPeaksAtCentre) {
+  const auto w = make_window(WindowKind::kHann, 65);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, HammingEndsAtPedestal) {
+  const auto w = make_window(WindowKind::kHamming, 33);
+  EXPECT_NEAR(w.front(), 0.08, 1e-12);
+  EXPECT_NEAR(w[16], 1.0, 1e-12);
+}
+
+TEST(Window, AllWindowsSymmetric) {
+  for (auto kind : {WindowKind::kHann, WindowKind::kHamming,
+                    WindowKind::kBlackman, WindowKind::kTaylor}) {
+    const auto w = make_window(kind, 41);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-10)
+          << "kind " << static_cast<int>(kind) << " index " << i;
+    }
+  }
+}
+
+TEST(Window, TaylorIsPositiveAndNormalizedAtCentre) {
+  const auto w = taylor_window(129, 4, -35.0);
+  for (double v : w) EXPECT_GT(v, 0.0);
+  // Centre is the maximum.
+  const double centre = w[64];
+  for (double v : w) EXPECT_LE(v, centre + 1e-12);
+}
+
+TEST(Window, TaylorSidelobesBelowSpec) {
+  // DFT of a zero-padded Taylor window: sidelobes should sit near -35 dB.
+  const std::size_t n = 64;
+  const auto w = taylor_window(n, 4, -35.0);
+  const std::size_t pad = 1024;
+  std::vector<std::complex<double>> x(pad, std::complex<double>{});
+  for (std::size_t i = 0; i < n; ++i) x[i] = w[i];
+  // Direct DFT magnitude (small sizes, no FFT dependency needed here).
+  double peak = 0.0;
+  std::vector<double> mag(pad / 2);
+  for (std::size_t k = 0; k < pad / 2; ++k) {
+    std::complex<double> acc{};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * kPi * static_cast<double>(j * k) /
+                           static_cast<double>(pad);
+      acc += x[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    mag[k] = std::abs(acc);
+    peak = std::max(peak, mag[k]);
+  }
+  // Beyond the mainlobe (few bins), all sidelobes < -30 dB of peak
+  // (spec is -35; allow implementation margin).
+  for (std::size_t k = 60; k < pad / 2; ++k) {
+    EXPECT_LT(20.0 * std::log10(mag[k] / peak), -30.0) << "bin " << k;
+  }
+}
+
+TEST(Chirp, ParameterDerivations) {
+  ChirpParams p;
+  p.carrier_hz = 10e9;
+  p.bandwidth_hz = 300e6;
+  p.duration_s = 10e-6;
+  p.sample_rate_hz = 360e6;
+  EXPECT_NEAR(p.chirp_rate(), 3e13, 1e6);
+  EXPECT_NEAR(p.range_bin_spacing(), 299792458.0 / 720e6, 1e-9);
+  EXPECT_NEAR(p.range_resolution(), 299792458.0 / 600e6, 1e-9);
+  EXPECT_EQ(p.samples_per_pulse(), 3600u);
+  EXPECT_NEAR(p.wavenumber(), 2.0 * 10e9 / 299792458.0, 1e-9);
+}
+
+TEST(Chirp, ValidateRejectsSubNyquist) {
+  ChirpParams p;
+  p.sample_rate_hz = p.bandwidth_hz / 2;
+  EXPECT_THROW(p.validate(), PreconditionError);
+}
+
+TEST(Chirp, BasebandSamplesAreUnitModulus) {
+  ChirpParams p;
+  const auto s = baseband_chirp(p);
+  EXPECT_EQ(s.size(), p.samples_per_pulse());
+  for (const auto& v : s) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Chirp, InstantaneousFrequencySweepsBand) {
+  // Phase difference between consecutive samples approximates 2*pi*f(t)/fs;
+  // f sweeps from -B/2 to +B/2.
+  ChirpParams p;
+  const auto s = baseband_chirp(p);
+  const double dt = 1.0 / p.sample_rate_hz;
+  const double f_begin =
+      std::arg(s[1] * std::conj(s[0])) / (2.0 * kPi * dt);
+  const std::size_t n = s.size();
+  const double f_end =
+      std::arg(s[n - 1] * std::conj(s[n - 2])) / (2.0 * kPi * dt);
+  EXPECT_NEAR(f_begin, -p.bandwidth_hz / 2, p.bandwidth_hz * 0.02);
+  EXPECT_NEAR(f_end, p.bandwidth_hz / 2, p.bandwidth_hz * 0.02);
+}
+
+class RangeCompressionTest : public ::testing::Test {
+ protected:
+  ChirpParams chirp_;
+  static constexpr std::size_t kWindow = 8192;
+};
+
+TEST_F(RangeCompressionTest, PointEchoPeaksAtDelayBin) {
+  RangeCompressor rc(chirp_, kWindow, WindowKind::kRect);
+  // Build a delayed replica at integer delay d.
+  const auto replica = baseband_chirp(chirp_);
+  const std::size_t d = 1500;
+  std::vector<CDouble> raw(kWindow, CDouble{});
+  for (std::size_t i = 0; i < replica.size() && d + i < kWindow; ++i) {
+    raw[d + i] = replica[i];
+  }
+  std::vector<CFloat> out(kWindow);
+  rc.compress(raw, out);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < kWindow; ++i) {
+    if (std::abs(out[i]) > std::abs(out[peak])) peak = i;
+  }
+  EXPECT_EQ(peak, d);
+}
+
+TEST_F(RangeCompressionTest, PeakPhaseCarriesEchoPhase) {
+  RangeCompressor rc(chirp_, kWindow, WindowKind::kRect);
+  const auto replica = baseband_chirp(chirp_);
+  const std::size_t d = 900;
+  const CDouble carrier = std::polar(1.0, 1.2345);  // echo carrier phase
+  std::vector<CDouble> raw(kWindow, CDouble{});
+  for (std::size_t i = 0; i < replica.size(); ++i) raw[d + i] = replica[i] * carrier;
+  std::vector<CFloat> out(kWindow);
+  rc.compress(raw, out);
+  EXPECT_NEAR(std::arg(CDouble(out[d].real(), out[d].imag())), 1.2345, 1e-2);
+}
+
+TEST_F(RangeCompressionTest, CompressionGainScalesWithPulseLength) {
+  RangeCompressor rc(chirp_, kWindow, WindowKind::kRect);
+  const auto replica = baseband_chirp(chirp_);
+  std::vector<CDouble> raw(kWindow, CDouble{});
+  for (std::size_t i = 0; i < replica.size(); ++i) raw[100 + i] = replica[i];
+  std::vector<CFloat> out(kWindow);
+  rc.compress(raw, out);
+  // Normalized matched filter: unit-amplitude echo compresses to ~1 at peak.
+  EXPECT_NEAR(std::abs(CDouble(out[100].real(), out[100].imag())), 1.0, 0.05);
+}
+
+TEST_F(RangeCompressionTest, LinearInSuperposition) {
+  RangeCompressor rc(chirp_, kWindow, WindowKind::kTaylor);
+  const auto replica = baseband_chirp(chirp_);
+  std::vector<CDouble> raw_a(kWindow, CDouble{});
+  std::vector<CDouble> raw_b(kWindow, CDouble{});
+  for (std::size_t i = 0; i < replica.size(); ++i) {
+    raw_a[200 + i] = replica[i];
+    raw_b[2000 + i] = 0.5 * replica[i];
+  }
+  std::vector<CDouble> raw_sum(kWindow);
+  for (std::size_t i = 0; i < kWindow; ++i) raw_sum[i] = raw_a[i] + raw_b[i];
+  std::vector<CFloat> out_a(kWindow), out_b(kWindow), out_sum(kWindow);
+  rc.compress(raw_a, out_a);
+  rc.compress(raw_b, out_b);
+  rc.compress(raw_sum, out_sum);
+  for (std::size_t i = 0; i < kWindow; i += 37) {
+    EXPECT_NEAR(out_sum[i].real(), out_a[i].real() + out_b[i].real(), 1e-3);
+    EXPECT_NEAR(out_sum[i].imag(), out_a[i].imag() + out_b[i].imag(), 1e-3);
+  }
+}
+
+TEST(Interp, LinearExactOnLinearData) {
+  std::vector<CFloat> in = {{0, 0}, {2, -2}, {4, -4}, {6, -6}};
+  const auto v = linear_interp<float>(in, 1.5);
+  EXPECT_FLOAT_EQ(v.real(), 3.0f);
+  EXPECT_FLOAT_EQ(v.imag(), -3.0f);
+}
+
+TEST(Interp, LinearAtIntegerBinReturnsSample) {
+  std::vector<CFloat> in = {{1, 2}, {3, 4}, {5, 6}};
+  const auto v = linear_interp<float>(in, 1.0);
+  EXPECT_FLOAT_EQ(v.real(), 3.0f);
+  EXPECT_FLOAT_EQ(v.imag(), 4.0f);
+}
+
+TEST(Interp, LinearOutOfRangeIsZero) {
+  std::vector<CFloat> in = {{1, 1}, {2, 2}};
+  EXPECT_EQ(linear_interp<float>(in, -0.5), CFloat{});
+  EXPECT_EQ(linear_interp<float>(in, 1.5), CFloat{});  // needs in[2]
+  EXPECT_EQ(linear_interp<float>(in, 10.0), CFloat{});
+}
+
+TEST(Interp, SincReconstructsBandlimitedTone) {
+  // Samples of a slow complex tone; windowed-sinc should reconstruct
+  // off-grid values much better than linear.
+  const std::size_t n = 128;
+  std::vector<CDouble> in(n);
+  const double f = 0.11;  // cycles/sample, well below Nyquist
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = std::polar(1.0, 2.0 * kPi * f * static_cast<double>(i));
+  }
+  const double bin = 63.37;
+  const CDouble expected = std::polar(1.0, 2.0 * kPi * f * bin);
+  const CDouble sinc_v = sinc_interp(std::span<const CDouble>(in), bin);
+  EXPECT_LT(std::abs(sinc_v - expected), 2e-3);
+  const CDouble lin_v = [&] {
+    const auto i = static_cast<std::size_t>(bin);
+    const double frac = bin - static_cast<double>(i);
+    return (1.0 - frac) * in[i] + frac * in[i + 1];
+  }();
+  EXPECT_GT(std::abs(lin_v - expected), std::abs(sinc_v - expected));
+}
+
+TEST(Interp, BilinearExactOnBilinearField) {
+  Grid2D<float> img(4, 4);
+  for (Index y = 0; y < 4; ++y) {
+    for (Index x = 0; x < 4; ++x) {
+      img.at(x, y) = static_cast<float>(2 * x + 3 * y + 1);
+    }
+  }
+  EXPECT_NEAR(bilinear(img, 1.5, 2.25), 2 * 1.5 + 3 * 2.25 + 1, 1e-5);
+  EXPECT_NEAR(bilinear(img, 0.0, 0.0), 1.0, 1e-6);
+}
+
+TEST(Interp, BilinearComplexMatchesComponents) {
+  Grid2D<CFloat> img(3, 3);
+  for (Index y = 0; y < 3; ++y) {
+    for (Index x = 0; x < 3; ++x) {
+      img.at(x, y) = CFloat(static_cast<float>(x), static_cast<float>(y));
+    }
+  }
+  const CFloat v = bilinear(img, 0.5, 1.5);
+  EXPECT_NEAR(v.real(), 0.5f, 1e-6);
+  EXPECT_NEAR(v.imag(), 1.5f, 1e-6);
+}
+
+TEST(Interp, BilinearOutOfRangeIsZero) {
+  Grid2D<CFloat> img(3, 3, CFloat{1.0f, 1.0f});
+  EXPECT_EQ(bilinear(img, -0.1, 1.0), CFloat{});
+  EXPECT_EQ(bilinear(img, 2.5, 1.0), CFloat{});
+  EXPECT_EQ(bilinear(img, 1.0, 2.5), CFloat{});
+}
+
+TEST(Trig, ReduceToPiStaysInRange) {
+  Rng rng(55);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-1e6, 1e6);
+    const double r = reduce_to_pi(x);
+    EXPECT_LE(std::abs(r), kPi + 1e-9);
+    // Reduction preserves the angle modulo 2*pi.
+    EXPECT_NEAR(std::sin(r), std::sin(x), 1e-9);
+    EXPECT_NEAR(std::cos(r), std::cos(x), 1e-9);
+  }
+}
+
+TEST(Trig, PolySinCosAccuracyOnReducedRange) {
+  for (int i = -314; i <= 314; ++i) {
+    const float x = static_cast<float>(i) * 0.01f;
+    const SinCos sc = sincos_poly(x);
+    EXPECT_NEAR(sc.sin, std::sin(static_cast<double>(x)), 5e-7) << x;
+    EXPECT_NEAR(sc.cos, std::cos(static_cast<double>(x)), 5e-7) << x;
+  }
+}
+
+TEST(Trig, BaselinePathAccurateForLargeArguments) {
+  // 2*pi*k*r with r ~ 17 km, k ~ 64 -> arguments of magnitude ~7e6.
+  Rng rng(66);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(6.8e6, 7.2e6);
+    const SinCos sc = sincos_baseline(x);
+    EXPECT_NEAR(sc.sin, std::sin(x), 2e-6);
+    EXPECT_NEAR(sc.cos, std::cos(x), 2e-6);
+  }
+}
+
+TEST(Trig, FloatReductionCollapsesAccuracy) {
+  // The Fig. 8 12 dB story: reducing a ~7e6 argument in single precision
+  // leaves ~0.5 rad errors. Verify the error is orders of magnitude worse
+  // than the double-reduction path.
+  Rng rng(77);
+  double max_err_float = 0.0;
+  double max_err_double = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(6.8e6, 7.2e6);
+    const SinCos scf = sincos_float_reduction(static_cast<float>(x));
+    const SinCos scd = sincos_baseline(x);
+    max_err_float = std::max(max_err_float,
+                             std::abs(scf.sin - std::sin(x)));
+    max_err_double = std::max(max_err_double,
+                              std::abs(scd.sin - std::sin(x)));
+  }
+  EXPECT_GT(max_err_float, 1e-2);
+  EXPECT_LT(max_err_double, 1e-5);
+  EXPECT_GT(max_err_float / max_err_double, 1e3);
+}
+
+}  // namespace
+}  // namespace sarbp::signal

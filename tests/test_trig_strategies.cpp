@@ -1,0 +1,135 @@
+// Trig-strategy tests (paper §6 related work): CORDIC fixed-point
+// rotations and Chebyshev near-minimax polynomials, compared with each
+// other and with the production paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "signal/chebyshev.h"
+#include "signal/cordic.h"
+#include "signal/trig.h"
+
+namespace sarbp::signal {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Cordic, ConvergesToLibm) {
+  for (double x = -kPi / 2; x <= kPi / 2; x += 0.037) {
+    const SinCos sc = sincos_cordic(static_cast<float>(x), 28);
+    EXPECT_NEAR(sc.sin, std::sin(x), 1e-6) << x;
+    EXPECT_NEAR(sc.cos, std::cos(x), 1e-6) << x;
+  }
+}
+
+TEST(Cordic, ErrorShrinksWithIterations) {
+  double prev_worst = 1e9;
+  for (int iters : {6, 10, 14, 18, 24}) {
+    double worst = 0.0;
+    for (double x = -kPi / 2; x <= kPi / 2; x += 0.05) {
+      const SinCos sc = sincos_cordic(static_cast<float>(x), iters);
+      worst = std::max(worst, std::abs(sc.sin - std::sin(x)));
+      worst = std::max(worst, std::abs(sc.cos - std::cos(x)));
+    }
+    EXPECT_LT(worst, prev_worst) << iters;
+    prev_worst = worst;
+  }
+}
+
+TEST(Cordic, ErrorBoundDominatesMeasured) {
+  for (int iters : {8, 12, 16, 20, 24}) {
+    const double bound = cordic_error_bound(iters);
+    double worst = 0.0;
+    for (double x = -kPi / 2; x <= kPi / 2; x += 0.03) {
+      const SinCos sc = sincos_cordic(static_cast<float>(x), iters);
+      worst = std::max(worst, std::abs(sc.sin - std::sin(x)));
+      worst = std::max(worst, std::abs(sc.cos - std::cos(x)));
+    }
+    EXPECT_GE(bound, worst) << iters;
+  }
+}
+
+TEST(Cordic, FullRangeWrapperHandlesLargeArguments) {
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-1e6, 1e6);
+    const SinCos sc = sincos_cordic_full(x, 28);
+    EXPECT_NEAR(sc.sin, std::sin(x), 3e-6) << x;
+    EXPECT_NEAR(sc.cos, std::cos(x), 3e-6) << x;
+  }
+}
+
+TEST(Cordic, RejectsBadIterationCounts) {
+  EXPECT_THROW((void)sincos_cordic(0.0f, 0), PreconditionError);
+  EXPECT_THROW((void)sincos_cordic(0.0f, 31), PreconditionError);
+}
+
+TEST(Chebyshev, SeriesReproducesSmoothFunction) {
+  const ChebyshevSeries series([](double x) { return std::exp(x); }, -1.0,
+                               2.0, 20);
+  for (double x = -1.0; x <= 2.0; x += 0.1) {
+    EXPECT_NEAR(series.evaluate(x), std::exp(x), 1e-10) << x;
+  }
+}
+
+TEST(Chebyshev, TruncationEstimateTracksError) {
+  // A low-order fit of a wiggly function: the first dropped coefficient
+  // should be within an order of magnitude of the actual worst error.
+  const auto f = [](double x) { return std::sin(5.0 * x); };
+  const ChebyshevSeries series(f, -1.0, 1.0, 8);
+  double worst = 0.0;
+  for (double x = -1.0; x <= 1.0; x += 0.01) {
+    worst = std::max(worst, std::abs(series.evaluate(x) - f(x)));
+  }
+  EXPECT_GT(worst, 0.1 * series.truncation_estimate());
+  EXPECT_LT(worst, 30.0 * series.truncation_estimate());
+}
+
+TEST(Chebyshev, NearMinimaxBeatsTaylorAtSameDegree) {
+  // The §6 claim: Chebyshev coefficients give near-optimal worst-case
+  // error. Compare degree-3 sine approximations on [-pi/4, pi/4]: the
+  // Taylor truncation x - x^3/6 vs the Chebyshev fit.
+  double worst_taylor = 0.0;
+  double worst_cheb = 0.0;
+  for (double x = -kPi / 4; x <= kPi / 4; x += 0.001) {
+    const double taylor = x - x * x * x / 6.0;
+    worst_taylor = std::max(worst_taylor, std::abs(taylor - std::sin(x)));
+    const SinCos sc = sincos_chebyshev(static_cast<float>(x), 3);
+    worst_cheb = std::max(worst_cheb,
+                          std::abs(static_cast<double>(sc.sin) - std::sin(x)));
+  }
+  EXPECT_LT(worst_cheb, 0.5 * worst_taylor);
+}
+
+TEST(Chebyshev, SinCosAccurateAcrossQuadrants) {
+  for (double x = -kPi; x <= kPi; x += 0.013) {
+    const SinCos sc = sincos_chebyshev(static_cast<float>(x), 9);
+    EXPECT_NEAR(sc.sin, std::sin(x), 5e-7) << x;
+    EXPECT_NEAR(sc.cos, std::cos(x), 5e-7) << x;
+  }
+}
+
+TEST(Chebyshev, HigherDegreeIsMoreAccurate) {
+  auto worst_at = [](int degree) {
+    double worst = 0.0;
+    for (double x = -kPi; x <= kPi; x += 0.01) {
+      const SinCos sc = sincos_chebyshev(static_cast<float>(x), degree);
+      worst = std::max(worst,
+                       std::abs(static_cast<double>(sc.sin) - std::sin(x)));
+    }
+    return worst;
+  };
+  EXPECT_GT(worst_at(2), worst_at(4));
+  EXPECT_GT(worst_at(4), worst_at(7));
+}
+
+TEST(Chebyshev, RejectsBadDegrees) {
+  EXPECT_THROW((void)sincos_chebyshev(0.0f, 0), PreconditionError);
+  EXPECT_THROW((void)sincos_chebyshev(0.0f, 17), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sarbp::signal
