@@ -23,25 +23,40 @@
 
 namespace sarbp::bench {
 
-/// Minimal --key value / --flag parser.
+/// Minimal --key value / --key=value / --flag parser.
 class Args {
  public:
   Args(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) tokens_.emplace_back(argv[i]);
+    for (int i = 1; i < argc; ++i) {
+      // Normalize "--key=value" into separate key and value tokens so every
+      // accessor handles both spellings.
+      const std::string token = argv[i];
+      const std::size_t eq = token.find('=');
+      if (token.rfind("--", 0) == 0 && eq != std::string::npos) {
+        tokens_.push_back(token.substr(0, eq));
+        tokens_.push_back(token.substr(eq + 1));
+      } else {
+        tokens_.push_back(token);
+      }
+    }
   }
 
   [[nodiscard]] long get(const std::string& key, long fallback) const {
-    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
-      if (tokens_[i] == "--" + key) return std::atol(tokens_[i + 1].c_str());
-    }
-    return fallback;
+    const auto v = gets(key);
+    return v.empty() ? fallback : std::atol(v.c_str());
   }
 
   [[nodiscard]] double getf(const std::string& key, double fallback) const {
+    const auto v = gets(key);
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+
+  /// String-valued option; empty when absent.
+  [[nodiscard]] std::string gets(const std::string& key) const {
     for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
-      if (tokens_[i] == "--" + key) return std::atof(tokens_[i + 1].c_str());
+      if (tokens_[i] == "--" + key) return tokens_[i + 1];
     }
-    return fallback;
+    return {};
   }
 
   [[nodiscard]] bool has(const std::string& flag) const {

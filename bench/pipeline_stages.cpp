@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "pipeline/pipeline.h"
 
 int main(int argc, char** argv) {
@@ -14,6 +16,7 @@ int main(int argc, char** argv) {
   const Index image = args.get("ix", 256);
   const Index pulses = args.get("pulses", 1024);
   const int frames = static_cast<int>(args.get("frames", 3));
+  const std::string metrics_out = args.gets("metrics-out");
 
   bench::print_header("Fig. 4 - pipeline stage times at steady state");
   std::printf("workload: %lldx%lld image, %lld pulses/frame, %d frames "
@@ -82,5 +85,41 @@ int main(int argc, char** argv) {
   std::printf("\ncumulative: backprojection %.3f s, all other stages %.3f s "
               "(%.1f%% of BP; paper keeps non-BP < 4%% after parallelization)\n",
               bp_total, other, 100.0 * other / bp_total);
+
+  // Structured observability view: stage latency percentiles, queue
+  // occupancy, and end-to-end frame throughput from the obs registry.
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  std::printf("\n%-32s %8s %10s %10s %10s\n", "span", "count", "p50 (s)",
+              "p99 (s)", "total (s)");
+  bench::print_rule();
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind("pipeline.stage.", 0) == 0 ||
+        name == "pipeline.frame.latency_s" || name == "bp.add_pulses_s") {
+      std::printf("%-32s %8llu %10.4f %10.4f %10.4f\n", name.c_str(),
+                  static_cast<unsigned long long>(h.count), h.p50, h.p99,
+                  h.sum);
+    }
+  }
+  std::printf("\nqueue gauges (depth now/max):");
+  for (const auto& [name, g] : snap.gauges) {
+    if (name.rfind("queue.pipeline.", 0) == 0) {
+      std::printf("  %s %lld/%lld", name.c_str(),
+                  static_cast<long long>(g.value),
+                  static_cast<long long>(g.max));
+    }
+  }
+  const auto completed = snap.histograms.find("pipeline.frame.completed_at_s");
+  if (completed != snap.histograms.end() && completed->second.max > 0.0) {
+    std::printf("\nend-to-end: %llu frames in %.3f s (%.2f frames/s)\n",
+                static_cast<unsigned long long>(completed->second.count),
+                completed->second.max,
+                static_cast<double>(completed->second.count) /
+                    completed->second.max);
+  }
+
+  if (!metrics_out.empty()) {
+    obs::write_json_file(obs::registry(), metrics_out);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

@@ -42,7 +42,14 @@ Grid2D<CFloat> IncrementalAccumulator::current() const {
 }
 
 std::size_t IncrementalAccumulator::footprint_bytes() const {
-  return batches_.size() * static_cast<std::size_t>(width_ * height_) *
+  return batches_.size() * batch_bytes(width_, height_);
+}
+
+std::size_t IncrementalAccumulator::batch_bytes(Index width, Index height) {
+  // Widen each factor *before* multiplying: at paper scale (57K x 57K)
+  // the pixel count overflows a 32-bit Index, so `width * height` must
+  // never be formed in Index arithmetic.
+  return static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
          sizeof(CFloat);
 }
 

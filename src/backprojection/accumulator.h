@@ -35,6 +35,10 @@ class IncrementalAccumulator {
   /// capacity-cost discussion, footnote 3).
   [[nodiscard]] std::size_t footprint_bytes() const;
 
+  /// Bytes one stored batch image occupies; overflow-safe at paper-scale
+  /// (57K x 57K) dimensions.
+  [[nodiscard]] static std::size_t batch_bytes(Index width, Index height);
+
  private:
   Index width_;
   Index height_;

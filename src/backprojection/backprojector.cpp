@@ -5,7 +5,9 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "geometry/wavefront.h"
+#include "obs/metrics.h"
 
 namespace sarbp::bp {
 namespace {
@@ -107,6 +109,13 @@ void Backprojector::add_pulses(const sim::PhaseHistory& history,
       choose_partition(shape, workers, options_.min_region_edge);
   const std::vector<CubePart> parts = partition_cube(shape, choice);
 
+  auto& reg = obs::registry();
+  reg.gauge("bp.partition.parts_x").set(choice.parts_x);
+  reg.gauge("bp.partition.parts_y").set(choice.parts_y);
+  reg.gauge("bp.partition.parts_pulse").set(choice.parts_pulse);
+  obs::Histogram& part_span = reg.histogram("bp.part_s");
+  Timer batch_timer;
+
 #pragma omp parallel num_threads(workers)
   {
     // Private tile per part (paper §4.3): contiguous accumulation, then a
@@ -117,11 +126,23 @@ void Backprojector::add_pulses(const sim::PhaseHistory& history,
 #pragma omp for schedule(dynamic, 1)
     for (std::size_t i = 0; i < parts.size(); ++i) {
       const CubePart& part = parts[i];
+      obs::ScopedSpan span(part_span);
       tile.reset(part.region.width, part.region.height);
       run_part(history, part, tile);
 #pragma omp critical(sarbp_bp_reduce)
       tile.accumulate_into(out, part.region);
     }
+  }
+
+  const double seconds = batch_timer.seconds();
+  reg.histogram("bp.add_pulses_s").record(seconds);
+  reg.counter("bp.batches").add();
+  reg.counter("bp.pulses").add(static_cast<std::uint64_t>(history.num_pulses()));
+  if (seconds > 0.0) {
+    reg.histogram("bp.pulses_per_s")
+        .record(static_cast<double>(history.num_pulses()) / seconds);
+    reg.histogram("bp.backprojections_per_s")
+        .record(backprojections(history) / seconds);
   }
 }
 

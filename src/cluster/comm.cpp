@@ -3,6 +3,8 @@
 #include <exception>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace sarbp::cluster {
 
 /// Shared state of one cluster run: a mailbox per rank plus a barrier.
@@ -49,11 +51,16 @@ class Cluster {
 
 void Communicator::send(int dest, int tag, std::vector<std::byte> payload) {
   ensure(dest >= 0 && dest < size_, "Communicator::send: bad destination");
+  obs::registry().counter("cluster.messages").add();
+  obs::registry()
+      .counter("cluster.bytes_sent")
+      .add(static_cast<std::uint64_t>(payload.size()));
   cluster_->deliver(dest, rank_, tag, std::move(payload));
 }
 
 std::vector<std::byte> Communicator::recv(int source, int tag) {
   ensure(source >= 0 && source < size_, "Communicator::recv: bad source");
+  obs::ScopedSpan wait(obs::registry().histogram("cluster.recv_wait_s"));
   return cluster_->take(rank_, source, tag);
 }
 

@@ -7,6 +7,7 @@
 #include "cluster/comm.h"
 #include "common/check.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace sarbp::cluster {
 namespace {
@@ -48,9 +49,15 @@ Grid2D<CFloat> distributed_backprojection(int ranks,
                      history.pulse(0).data() +
                          history.num_pulses() * history.samples_per_pulse());
     }
+    Timer scatter_timer;
     broadcast(comm, shape, 0);
     broadcast(comm, meta, 0);
     broadcast(comm, samples, 0);
+    if (comm.rank() == 0) {
+      obs::registry()
+          .histogram("cluster.broadcast_s")
+          .record(scatter_timer.seconds());
+    }
 
     // Rebuild the local phase history (ranks other than 0 own a copy, as
     // real MPI ranks would).
@@ -83,6 +90,7 @@ Grid2D<CFloat> distributed_backprojection(int ranks,
     backprojector.add_pulses_region(local, mine.region, mine.pulse_begin,
                                     mine.pulse_end, scratch);
     const double compute_s = timer.seconds();
+    obs::registry().histogram("cluster.rank_compute_s").record(compute_s);
 
     // --- Gather: pack the owned region and ship it to rank 0, which
     // accumulates (pulse-split parts overlap in image space and must sum).
@@ -96,6 +104,8 @@ Grid2D<CFloat> distributed_backprojection(int ranks,
     const Index region_desc[4] = {mine.region.x0, mine.region.y0,
                                   mine.region.width, mine.region.height};
     if (comm.rank() == 0) {
+      obs::ScopedSpan gather_span(
+          obs::registry().histogram("cluster.gather_s"));
       // Own tile first.
       for (Index y = 0; y < mine.region.height; ++y) {
         for (Index x = 0; x < mine.region.width; ++x) {

@@ -5,6 +5,16 @@
 // variables" (§4.1). This is the C++ equivalent: a mutex + two condition
 // variables, blocking push/pop, plus a close() protocol so consumers drain
 // and exit cleanly at end-of-stream.
+//
+// Shutdown protocol (see DESIGN.md "Shutdown protocol"): close() is
+// idempotent and unblocks every waiter; after close(), push fails and pop
+// drains the backlog before signalling end-of-stream with nullopt. A stage
+// that stops consuming a queue early MUST close it, or an upstream
+// producer blocked on a full queue never wakes.
+//
+// Constructing with a name registers depth/watermark gauges and
+// pushed/popped/blocked/close counters under "queue.<name>.*" in the
+// global obs registry; unnamed queues carry no instrumentation cost.
 #pragma once
 
 #include <condition_variable>
@@ -12,17 +22,33 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace sarbp {
 
 template <class T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+  explicit BoundedQueue(std::size_t capacity, const char* name = nullptr,
+                        obs::Registry* metrics = nullptr)
+      : capacity_(capacity) {
     ensure(capacity > 0, "BoundedQueue capacity must be positive");
+    if constexpr (obs::kEnabled) {
+      if (name != nullptr) {
+        const std::string prefix = std::string("queue.") + name + ".";
+        auto& reg = metrics != nullptr ? *metrics : obs::registry();
+        depth_ = &reg.gauge(prefix + "depth");
+        pushed_ = &reg.counter(prefix + "pushed");
+        popped_ = &reg.counter(prefix + "popped");
+        blocked_push_ = &reg.counter(prefix + "blocked_push");
+        blocked_pop_ = &reg.counter(prefix + "blocked_pop");
+        close_events_ = &reg.counter(prefix + "close");
+      }
+    }
   }
 
   BoundedQueue(const BoundedQueue&) = delete;
@@ -31,9 +57,14 @@ class BoundedQueue {
   /// Blocks while full. Returns false if the queue was closed (item dropped).
   bool push(T item) {
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (items_.size() >= capacity_ && !closed_) {
+      if (blocked_push_) blocked_push_->add();
+      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
+    if (depth_) depth_->set(static_cast<std::int64_t>(items_.size()));
+    if (pushed_) pushed_->add();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -45,6 +76,8 @@ class BoundedQueue {
       std::lock_guard lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      if (depth_) depth_->set(static_cast<std::int64_t>(items_.size()));
+      if (pushed_) pushed_->add();
     }
     not_empty_.notify_one();
     return true;
@@ -54,10 +87,15 @@ class BoundedQueue {
   /// drained — the end-of-stream signal for consumers.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty() && !closed_) {
+      if (blocked_pop_) blocked_pop_->add();
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    if (depth_) depth_->set(static_cast<std::int64_t>(items_.size()));
+    if (popped_) popped_->add();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -71,17 +109,21 @@ class BoundedQueue {
       if (items_.empty()) return std::nullopt;
       out = std::move(items_.front());
       items_.pop_front();
+      if (depth_) depth_->set(static_cast<std::int64_t>(items_.size()));
+      if (popped_) popped_->add();
     }
     not_full_.notify_one();
     return out;
   }
 
   /// Signals end-of-stream: unblocks every waiter; subsequent pushes fail,
-  /// pops drain remaining items then return nullopt.
+  /// pops drain remaining items then return nullopt. Idempotent.
   void close() {
     {
       std::lock_guard lock(mutex_);
+      if (closed_) return;
       closed_ = true;
+      if (close_events_) close_events_->add();
     }
     not_empty_.notify_all();
     not_full_.notify_all();
@@ -106,6 +148,15 @@ class BoundedQueue {
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+
+  // Optional instrumentation (null when unnamed or compiled out). The
+  // registry owns the metric objects; these stay valid for process life.
+  obs::Gauge* depth_ = nullptr;
+  obs::Counter* pushed_ = nullptr;
+  obs::Counter* popped_ = nullptr;
+  obs::Counter* blocked_push_ = nullptr;
+  obs::Counter* blocked_pop_ = nullptr;
+  obs::Counter* close_events_ = nullptr;
 };
 
 }  // namespace sarbp

@@ -23,6 +23,11 @@ double snr_db_impl(std::span<const M> measured, std::span<const R> reference) {
     signal += rr * rr + ri * ri;
     noise += er * er + ei * ei;
   }
+  // All-zero measured *and* reference: neither "perfect match" (+inf) nor
+  // "pure noise" (-inf) is meaningful — the ratio 0/0 is undefined.
+  if (signal == 0.0 && noise == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   if (noise == 0.0) return std::numeric_limits<double>::infinity();
   if (signal == 0.0) return -std::numeric_limits<double>::infinity();
   return 10.0 * std::log10(signal / noise);

@@ -1,0 +1,268 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+
+namespace sarbp::obs {
+namespace {
+
+// ---------------------------------------------------------------- writing
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  // %.17g round-trips IEEE doubles exactly.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+template <class Map, class Writer>
+void append_section(std::string& out, const char* key, const Map& map,
+                    Writer&& write_value) {
+  out += "  ";
+  out += '"';
+  out += key;
+  out += "\": {";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_escaped(out, name);
+    out += ": ";
+    write_value(out, value);
+  }
+  out += first ? "}" : "\n  }";
+}
+
+// ---------------------------------------------------------------- parsing
+//
+// Minimal recursive-descent parser for the subset to_json emits (objects,
+// strings, numbers). Kept private: this is a round-trip validator, not a
+// general JSON library.
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    ensure(pos_ < text_.size() && text_[pos_] == c,
+           std::string("metrics JSON: expected '") + c + "' at offset " +
+               std::to_string(pos_));
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        ensure(pos_ < text_.size(), "metrics JSON: dangling escape");
+        c = text_[pos_++];
+        if (c == 'u') {
+          ensure(pos_ + 4 <= text_.size(), "metrics JSON: bad \\u escape");
+          c = static_cast<char>(
+              std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+        }
+      }
+      out += c;
+    }
+    ensure(pos_ < text_.size(), "metrics JSON: unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    ensure(end != begin, "metrics JSON: expected a number at offset " +
+                             std::to_string(pos_));
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  /// Parses {"k": v, ...} handing each (key, this) to the callback.
+  template <class OnEntry>
+  void parse_object(OnEntry&& on_entry) {
+    expect('{');
+    if (consume('}')) return;
+    do {
+      const std::string key = parse_string();
+      expect(':');
+      on_entry(key);
+    } while (consume(','));
+    expect('}');
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(256 + 160 * (snapshot.counters.size() + snapshot.gauges.size() +
+                           snapshot.histograms.size()));
+  out += "{\n  \"schema\": \"";
+  out += MetricsSnapshot::kSchemaName;
+  out += "\",\n";
+  append_section(out, "counters", snapshot.counters,
+                 [](std::string& o, std::uint64_t v) {
+                   char buf[24];
+                   std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+                   o += buf;
+                 });
+  out += ",\n";
+  append_section(out, "gauges", snapshot.gauges,
+                 [](std::string& o, const MetricsSnapshot::GaugeStats& g) {
+                   char buf[64];
+                   std::snprintf(buf, sizeof buf,
+                                 "{\"value\": %" PRId64 ", \"max\": %" PRId64 "}",
+                                 g.value, g.max);
+                   o += buf;
+                 });
+  out += ",\n";
+  append_section(out, "histograms", snapshot.histograms,
+                 [](std::string& o, const HistogramStats& h) {
+                   char buf[24];
+                   std::snprintf(buf, sizeof buf, "%" PRIu64, h.count);
+                   o += "{\"count\": ";
+                   o += buf;
+                   for (const auto& [key, v] :
+                        {std::pair<const char*, double>{"sum", h.sum},
+                         {"min", h.min},
+                         {"max", h.max},
+                         {"p50", h.p50},
+                         {"p90", h.p90},
+                         {"p99", h.p99}}) {
+                     o += ", \"";
+                     o += key;
+                     o += "\": ";
+                     append_double(o, v);
+                   }
+                   o += '}';
+                 });
+  out += "\n}\n";
+  return out;
+}
+
+std::string export_json(const Registry& reg) { return to_json(reg.snapshot()); }
+
+MetricsSnapshot parse_snapshot_json(const std::string& json) {
+  MetricsSnapshot snap;
+  Parser p(json);
+  bool saw_schema = false;
+  p.parse_object([&](const std::string& section) {
+    if (section == "schema") {
+      const std::string schema = p.parse_string();
+      ensure(schema == MetricsSnapshot::kSchemaName,
+             "metrics JSON: unsupported schema '" + schema + "'");
+      saw_schema = true;
+    } else if (section == "counters") {
+      p.parse_object([&](const std::string& name) {
+        snap.counters[name] = static_cast<std::uint64_t>(p.parse_number());
+      });
+    } else if (section == "gauges") {
+      p.parse_object([&](const std::string& name) {
+        MetricsSnapshot::GaugeStats g;
+        p.parse_object([&](const std::string& field) {
+          const auto v = static_cast<std::int64_t>(p.parse_number());
+          if (field == "value") {
+            g.value = v;
+          } else if (field == "max") {
+            g.max = v;
+          } else {
+            ensure(false, "metrics JSON: unknown gauge field '" + field + "'");
+          }
+        });
+        snap.gauges[name] = g;
+      });
+    } else if (section == "histograms") {
+      p.parse_object([&](const std::string& name) {
+        HistogramStats h;
+        p.parse_object([&](const std::string& field) {
+          const double v = p.parse_number();
+          if (field == "count") {
+            h.count = static_cast<std::uint64_t>(v);
+          } else if (field == "sum") {
+            h.sum = v;
+          } else if (field == "min") {
+            h.min = v;
+          } else if (field == "max") {
+            h.max = v;
+          } else if (field == "p50") {
+            h.p50 = v;
+          } else if (field == "p90") {
+            h.p90 = v;
+          } else if (field == "p99") {
+            h.p99 = v;
+          } else {
+            ensure(false,
+                   "metrics JSON: unknown histogram field '" + field + "'");
+          }
+        });
+        snap.histograms[name] = h;
+      });
+    } else {
+      ensure(false, "metrics JSON: unknown section '" + section + "'");
+    }
+  });
+  ensure(saw_schema, "metrics JSON: missing \"schema\" field");
+  return snap;
+}
+
+void write_json_file(const Registry& reg, const std::string& path) {
+  const std::string json = export_json(reg);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ensure(f != nullptr, "metrics export: cannot open '" + path + "'");
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  ensure(written == json.size() && close_rc == 0,
+         "metrics export: short write to '" + path + "'");
+}
+
+}  // namespace sarbp::obs

@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+namespace sarbp::obs {
+namespace {
+
+double from_bits(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+std::uint64_t to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Lower bound of bucket i (geometric, doubling from kMinValue).
+double bucket_floor(int i) {
+  return i == 0 ? 0.0
+               : Histogram::kMinValue * std::ldexp(1.0, i - 1);
+}
+
+}  // namespace
+
+int Histogram::bucket_of(double value) noexcept {
+  if (!(value > kMinValue)) return 0;  // includes 0, negatives, NaN
+  const int idx = 1 + std::ilogb(value / kMinValue);
+  return idx >= kBuckets ? kBuckets - 1 : idx;
+}
+
+void Histogram::record(double value) noexcept {
+  if constexpr (!kEnabled) {
+    (void)value;
+    return;
+  }
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  buckets_[static_cast<std::size_t>(bucket_of(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+
+  // CAS loops over the double bit patterns; relaxed is fine — readers only
+  // need eventually-consistent summary values.
+  std::uint64_t seen = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(seen, to_bits(from_bits(seen) + value),
+                                          std::memory_order_relaxed)) {
+  }
+  seen = min_bits_.load(std::memory_order_relaxed);
+  while (value < from_bits(seen) &&
+         !min_bits_.compare_exchange_weak(seen, to_bits(value),
+                                          std::memory_order_relaxed)) {
+  }
+  seen = max_bits_.load(std::memory_order_relaxed);
+  while (value > from_bits(seen) &&
+         !max_bits_.compare_exchange_weak(seen, to_bits(value),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const noexcept {
+  return from_bits(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0
+                      : from_bits(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0
+                      : from_bits(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) >= target) {
+      // Linear interpolation to the bucket's upper edge, clamped to the
+      // exact observed range.
+      const double lo = bucket_floor(i);
+      const double hi = i + 1 < kBuckets ? bucket_floor(i + 1) : max();
+      const double frac =
+          1.0 - (static_cast<double>(cumulative) - target) /
+                    static_cast<double>(in_bucket);
+      double estimate = lo + (hi - lo) * frac;
+      if (estimate < min()) estimate = min();
+      if (estimate > max()) estimate = max();
+      return estimate;
+    }
+  }
+  return max();
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  s.p50 = percentile(0.50);
+  s.p90 = percentile(0.90);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+namespace {
+
+template <class Map>
+auto& get_or_create(Map& map, std::mutex& mutex, std::string_view name) {
+  std::lock_guard lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  if constexpr (!kEnabled) {
+    static Counter disabled;
+    return disabled;
+  }
+  return get_or_create(counters_, mutex_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  if constexpr (!kEnabled) {
+    static Gauge disabled;
+    return disabled;
+  }
+  return get_or_create(gauges_, mutex_, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  if constexpr (!kEnabled) {
+    static Histogram disabled;
+    return disabled;
+  }
+  return get_or_create(histograms_, mutex_, name);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = {g->value(), g->max()};
+  }
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->stats();
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& registry() {
+  static Registry global;
+  return global;
+}
+
+}  // namespace sarbp::obs

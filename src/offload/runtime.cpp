@@ -7,6 +7,7 @@
 #include "backprojection/kernel.h"
 #include "common/check.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace sarbp::offload {
 
@@ -134,6 +135,22 @@ OffloadReport OffloadRuntime::form_image(const sim::PhaseHistory& history,
     for (std::size_t i = 0; i < specs_.size(); ++i) {
       split_[i] = rates_[i] / total_rate;
     }
+  }
+
+  // Transfer/overlap telemetry: how much of the PCIe time the double
+  // buffering actually hid, and how long the compute thread stalled on the
+  // asynchronous staging copy.
+  auto& reg = obs::registry();
+  reg.counter("offload.frames").add();
+  reg.gauge("offload.executors").set(static_cast<std::int64_t>(specs_.size()));
+  reg.histogram("offload.wall_s").record(report.wall_seconds);
+  reg.histogram("offload.compute_s").record(compute_wall);
+  reg.histogram("offload.transfer_s").record(report.transfer_seconds);
+  reg.histogram("offload.staging_wait_s").record(report.staging_wait_seconds);
+  if (report.transfer_seconds > 0.0) {
+    const double exposed = report.wall_seconds - compute_wall;
+    reg.histogram("offload.transfer_hidden_frac")
+        .record(1.0 - exposed / report.transfer_seconds);
   }
   return report;
 }

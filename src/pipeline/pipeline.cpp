@@ -5,20 +5,41 @@
 #include "common/check.h"
 
 namespace sarbp::pipeline {
+namespace {
+
+constexpr const char* kStageNames[] = {"backprojection", "accumulate",
+                                       "registration", "ccd", "cfar"};
+
+double elapsed_s(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
 
 SurveillancePipeline::SurveillancePipeline(const geometry::ImageGrid& grid,
                                            PipelineConfig config)
     : grid_(grid),
       config_(std::move(config)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : &obs::registry()),
       backprojector_(grid_, config_.backprojection),
       registrar_(config_.registration),
-      pulse_queue_(config_.queue_depth),
-      image_queue_(config_.queue_depth),
-      result_queue_(config_.queue_depth + 2) {
+      pulse_queue_(config_.queue_depth, "pipeline.pulse", metrics_),
+      image_queue_(config_.queue_depth, "pipeline.image", metrics_),
+      result_queue_(config_.queue_depth + 2, "pipeline.result", metrics_),
+      started_(std::chrono::steady_clock::now()) {
   bp_thread_ = std::thread([this] { backprojection_stage(); });
   post_thread_ = std::thread([this] { post_processing_stage(); });
 }
 
+// Shutdown protocol (DESIGN.md): close queues strictly downstream-first
+// from the consumer's point of view — closing result_queue_ releases the
+// post stage even when the caller never collected its results; the post
+// stage then closes image_queue_ on its way out, releasing a
+// backprojection stage blocked mid-push; close_input() has already
+// released a producer blocked on pulse_queue_. Only then are the stage
+// threads joined.
 SurveillancePipeline::~SurveillancePipeline() {
   close_input();
   // Drain anything the consumer never collected so the stages can exit.
@@ -38,8 +59,17 @@ std::optional<FrameResult> SurveillancePipeline::pop_result() {
 void SurveillancePipeline::close_input() { pulse_queue_.close(); }
 
 SectionTimes SurveillancePipeline::cumulative_stage_times() const {
-  std::lock_guard lock(times_mutex_);
-  return cumulative_times_;
+  SectionTimes totals;
+  for (const char* name : kStageNames) {
+    const double secs =
+        metrics_->histogram(std::string("pipeline.stage.") + name).sum();
+    if (secs > 0.0) totals.add(name, secs);
+  }
+  return totals;
+}
+
+void SurveillancePipeline::record_stage(const char* name, double seconds) {
+  metrics_->histogram(std::string("pipeline.stage.") + name).record(seconds);
 }
 
 void SurveillancePipeline::backprojection_stage() {
@@ -49,6 +79,7 @@ void SurveillancePipeline::backprojection_stage() {
   while (auto batch = pulse_queue_.pop()) {
     FormedImage formed;
     formed.frame = frame++;
+    formed.ingested = std::chrono::steady_clock::now();
     Timer bp_timer;
     Grid2D<CFloat> batch_image(grid_.width(), grid_.height());
     backprojector_.add_pulses(*batch, batch_image);
@@ -58,11 +89,8 @@ void SurveillancePipeline::backprojection_stage() {
     formed.image = accumulator.current();
     formed.stage_seconds["accumulate"] = acc_timer.seconds();
 
-    {
-      std::lock_guard lock(times_mutex_);
-      for (const auto& [name, secs] : formed.stage_seconds) {
-        cumulative_times_.add(name, secs);
-      }
+    for (const auto& [name, secs] : formed.stage_seconds) {
+      record_stage(name.c_str(), secs);
     }
     if (!image_queue_.push(std::move(formed))) break;
   }
@@ -70,6 +98,10 @@ void SurveillancePipeline::backprojection_stage() {
 }
 
 void SurveillancePipeline::post_processing_stage() {
+  obs::Histogram& latency = metrics_->histogram("pipeline.frame.latency_s");
+  obs::Histogram& completed_at =
+      metrics_->histogram("pipeline.frame.completed_at_s");
+  obs::Counter& frames_done = metrics_->counter("pipeline.frames");
   std::optional<Grid2D<CFloat>> reference;
   while (auto formed = image_queue_.pop()) {
     FrameResult result;
@@ -95,16 +127,21 @@ void SurveillancePipeline::post_processing_stage() {
       result.stage_seconds["cfar"] = cfar_timer.seconds();
     }
 
-    {
-      std::lock_guard lock(times_mutex_);
-      for (const auto& name : {"registration", "ccd", "cfar"}) {
-        const auto it = result.stage_seconds.find(name);
-        if (it != result.stage_seconds.end()) {
-          cumulative_times_.add(name, it->second);
-        }
-      }
+    for (const auto& name : {"registration", "ccd", "cfar"}) {
+      const auto it = result.stage_seconds.find(name);
+      if (it != result.stage_seconds.end()) record_stage(name, it->second);
     }
-    if (!result_queue_.push(std::move(result))) break;
+    latency.record(elapsed_s(formed->ingested));
+    completed_at.record(elapsed_s(started_));
+    frames_done.add();
+    if (!result_queue_.push(std::move(result))) {
+      // The consumer stopped collecting (result_queue_ closed, e.g. by the
+      // destructor). Close our input too: a backprojection stage blocked
+      // pushing into a full image_queue_ must wake and exit, or the
+      // destructor's join would deadlock.
+      image_queue_.close();
+      break;
+    }
   }
   result_queue_.close();
 }

@@ -10,6 +10,7 @@
 // frame is registered against it before change detection.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,6 +23,7 @@
 #include "common/queue.h"
 #include "common/timer.h"
 #include "geometry/grid.h"
+#include "obs/metrics.h"
 #include "pipeline/cfar.h"
 #include "pipeline/ccd.h"
 #include "pipeline/registration.h"
@@ -39,6 +41,11 @@ struct PipelineConfig {
   CfarParams cfar;
   /// Bounded-queue depth between stages (2 = classic double buffering).
   std::size_t queue_depth = 2;
+  /// Metrics sink: stage spans ("pipeline.stage.*"), per-frame latency
+  /// ("pipeline.frame.latency_s"), completion-time histogram
+  /// ("pipeline.frame.completed_at_s") and queue gauges are recorded here.
+  /// Null selects the process-global obs::registry().
+  obs::Registry* metrics = nullptr;
 };
 
 struct FrameResult {
@@ -70,22 +77,32 @@ class SurveillancePipeline {
   /// Signals end of the pulse stream.
   void close_input();
 
-  /// Wall-clock totals per stage, accumulated across all frames. Safe to
-  /// read after the pipeline has drained.
+  /// Wall-clock totals per stage, accumulated across all frames — read
+  /// back from the "pipeline.stage.*" histograms of the configured metrics
+  /// registry (so a shared/global registry accumulates across pipeline
+  /// instances). Safe to read after the pipeline has drained.
   [[nodiscard]] SectionTimes cumulative_stage_times() const;
+
+  /// The registry this pipeline records into.
+  [[nodiscard]] obs::Registry& metrics() const { return *metrics_; }
 
  private:
   struct FormedImage {
     Index frame;
     Grid2D<CFloat> image;
     std::map<std::string, double> stage_seconds;
+    /// When the backprojection stage dequeued the pulse batch — the start
+    /// of the frame's in-pipeline latency measurement.
+    std::chrono::steady_clock::time_point ingested;
   };
 
   void backprojection_stage();
   void post_processing_stage();
+  void record_stage(const char* name, double seconds);
 
   geometry::ImageGrid grid_;
   PipelineConfig config_;
+  obs::Registry* metrics_;
   bp::Backprojector backprojector_;
   Registrar registrar_;
 
@@ -93,8 +110,7 @@ class SurveillancePipeline {
   BoundedQueue<FormedImage> image_queue_;
   BoundedQueue<FrameResult> result_queue_;
 
-  mutable std::mutex times_mutex_;
-  SectionTimes cumulative_times_;
+  std::chrono::steady_clock::time_point started_;
 
   std::thread bp_thread_;
   std::thread post_thread_;

@@ -208,6 +208,60 @@ TEST(BoundedQueue, BlockingPushWaitsForSpace) {
   EXPECT_EQ(q.pop(), std::optional<int>(2));
 }
 
+TEST(BoundedQueue, MidStreamCloseWakesAllWaitersAndLosesNothing) {
+  // Shutdown-protocol stress: N producers race M consumers on a tiny queue
+  // while another thread closes it mid-stream. Every push that reported
+  // success must be consumed (drain-then-end semantics), every blocked
+  // waiter must wake, and pushes after close must fail.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 5000;
+  BoundedQueue<int> q(4);
+  std::atomic<long long> pushed_sum{0};
+  std::atomic<int> pushed_count{0};
+  std::atomic<long long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  std::atomic<bool> rejected_push{false};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int item = p * kPerProducer + i;
+        if (q.push(item)) {
+          pushed_sum += item;
+          pushed_count++;
+        } else {
+          rejected_push = true;
+          break;  // queue closed; all later pushes would fail too
+        }
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        popped_sum += *v;
+        popped_count++;
+      }
+      // After pop() returns nullopt the queue must stay ended.
+      EXPECT_FALSE(q.pop().has_value());
+    });
+  }
+  // Let traffic flow, then slam the door mid-stream.
+  while (popped_count.load() < kPerProducer / 2) std::this_thread::yield();
+  q.close();
+
+  for (auto& t : producers) t.join();  // blocked pushers must wake
+  for (auto& t : consumers) t.join();  // blocked poppers must wake
+  EXPECT_TRUE(rejected_push.load());
+  // No successfully-pushed item may be lost *or* duplicated.
+  EXPECT_EQ(popped_count.load(), pushed_count.load());
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+  EXPECT_LT(pushed_count.load(), kProducers * kPerProducer);
+}
+
 TEST(Grid2D, ShapeAndAccess) {
   Grid2D<int> g(4, 3, 7);
   EXPECT_EQ(g.width(), 4);
@@ -258,6 +312,24 @@ TEST(Snr, TwentyDbPerDigit) {
   const double s1 = snr_db(std::span<const CFloat>(m1), std::span<const CDouble>(ref));
   const double s2 = snr_db(std::span<const CFloat>(m2), std::span<const CDouble>(ref));
   EXPECT_NEAR(s2 - s1, 20.0, 1.0);
+}
+
+TEST(Snr, ZeroSignalZeroNoiseIsNan) {
+  // Degenerate all-zero comparison: neither "perfect" (+inf) nor "broken"
+  // (-inf) is honest, so the ratio is reported as NaN.
+  std::vector<CFloat> zeros(8, CFloat{0.0f, 0.0f});
+  EXPECT_TRUE(std::isnan(snr_db(std::span<const CFloat>(zeros),
+                                std::span<const CFloat>(zeros))));
+}
+
+TEST(Snr, ZeroReferenceNonzeroErrorIsNotNan) {
+  std::vector<CFloat> ref(8, CFloat{0.0f, 0.0f});
+  std::vector<CFloat> meas(8, CFloat{1.0f, 0.0f});
+  const double snr = snr_db(std::span<const CFloat>(meas),
+                            std::span<const CFloat>(ref));
+  EXPECT_FALSE(std::isnan(snr));
+  EXPECT_TRUE(std::isinf(snr));
+  EXPECT_LT(snr, 0.0);
 }
 
 TEST(Snr, MismatchedSizesThrow) {

@@ -173,6 +173,23 @@ TEST(Accumulator, FootprintTracksStoredBatches) {
   EXPECT_EQ(acc.footprint_bytes(), 8u * 8u * sizeof(CFloat));
 }
 
+TEST(Accumulator, PaperScaleFootprintDoesNotOverflow) {
+  // The paper's wide-area grids are 57K x 57K pixels; one CFloat batch at
+  // that size is ~26 GB. With Index (int64) factors multiplied in 32 bits
+  // the product wraps — the arithmetic must widen to size_t first.
+  constexpr Index kPaperDim = 57344;  // 57K, a 7 km scene at 0.125 m pixels
+  constexpr std::size_t kExpected = static_cast<std::size_t>(kPaperDim) *
+                                    static_cast<std::size_t>(kPaperDim) *
+                                    sizeof(CFloat);
+  EXPECT_EQ(IncrementalAccumulator::batch_bytes(kPaperDim, kPaperDim),
+            kExpected);
+  EXPECT_GT(kExpected, std::size_t{1} << 34);  // really is beyond 32 bits
+  // The paper's pipeline keeps Naccum = 36 such buffers resident (~948 GB
+  // across the cluster); the per-batch figure must scale without wrapping.
+  EXPECT_EQ(36u * IncrementalAccumulator::batch_bytes(kPaperDim, kPaperDim),
+            36u * kExpected);
+}
+
 TEST(Accumulator, IncrementalEqualsMonolithicBackprojection) {
   // The paper's §2 linearity argument: backprojecting pulse batches
   // separately and summing equals backprojecting all pulses at once.

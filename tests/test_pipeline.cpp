@@ -3,10 +3,14 @@
 // and the full threaded surveillance pipeline end-to-end.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <future>
+#include <thread>
 
 #include "common/rng.h"
 #include "common/snr.h"
+#include "obs/metrics.h"
 #include "pipeline/affine.h"
 #include "pipeline/ccd.h"
 #include "pipeline/cfar.h"
@@ -431,6 +435,97 @@ TEST(Pipeline, DrainsCleanlyWithNoInput) {
   SurveillancePipeline pipeline(grid, config);
   pipeline.close_input();
   EXPECT_FALSE(pipeline.pop_result().has_value());
+}
+
+TEST(Pipeline, DestructionWithUncollectedResultsDoesNotDeadlock) {
+  // Regression (shutdown deadlock): with queue_depth=1, several pushed
+  // batches, and *nothing* collected, the destructor used to hang — it
+  // closed result_queue_, post_processing_stage broke out of its loop
+  // without closing image_queue_, and backprojection_stage stayed blocked
+  // forever pushing into the full image_queue_ while the destructor joined
+  // it. The post stage must close image_queue_ on its early-exit path.
+  //
+  // Run under a watchdog so the seed bug shows up as a test timeout, not a
+  // hung test runner.
+  auto scenario = [] {
+    ScenarioConfig cfg;
+    cfg.image = 48;
+    cfg.pulses = 8;
+    const SmallScenario s = make_scenario(cfg);
+    PipelineConfig config;
+    config.queue_depth = 1;
+    config.registration.patch = 15;
+    config.registration.control_points_x = 3;
+    config.registration.control_points_y = 3;
+    config.ccd.window = 5;
+    config.backprojection.threads = 1;
+    SurveillancePipeline pipeline(s.grid, config);
+    // Six batches: three fill result_queue_ (depth+2), one is in flight in
+    // each stage, one fills image_queue_ — leaving the backprojection
+    // stage blocked mid-push. (More than seven would block the producer
+    // itself, since nothing is ever collected.)
+    for (int f = 0; f < 6; ++f) {
+      sim::PhaseHistory copy = s.history;
+      if (!pipeline.push_pulses(std::move(copy))) break;
+    }
+    // Collect nothing; destroy with frames still queued everywhere.
+  };
+  std::packaged_task<void()> task(scenario);
+  std::future<void> done = task.get_future();
+  std::thread runner(std::move(task));
+  const auto status = done.wait_for(std::chrono::seconds(60));
+  if (status != std::future_status::ready) {
+    runner.detach();  // deadlocked beyond recovery; fail loudly
+    FAIL() << "pipeline destruction deadlocked (image_queue_ never closed)";
+  }
+  runner.join();
+}
+
+TEST(Pipeline, RecordsStageSpansAndQueueGauges) {
+  // The observability contract the BENCH trajectories rely on: after a
+  // pipeline run, its registry holds per-stage spans, frame latency, and
+  // named queue metrics.
+  obs::Registry metrics;
+  ScenarioConfig cfg;
+  cfg.image = 64;
+  cfg.pulses = 8;
+  const SmallScenario s = make_scenario(cfg);
+  PipelineConfig config;
+  config.queue_depth = 2;
+  config.registration.patch = 15;
+  config.registration.control_points_x = 3;
+  config.registration.control_points_y = 3;
+  config.ccd.window = 5;
+  config.backprojection.threads = 1;
+  config.metrics = &metrics;
+  {
+    SurveillancePipeline pipeline(s.grid, config);
+    for (int f = 0; f < 3; ++f) {
+      sim::PhaseHistory copy = s.history;
+      ASSERT_TRUE(pipeline.push_pulses(std::move(copy)));
+    }
+    pipeline.close_input();
+    int collected = 0;
+    while (pipeline.pop_result()) ++collected;
+    EXPECT_EQ(collected, 3);
+
+    const SectionTimes times = pipeline.cumulative_stage_times();
+    EXPECT_GT(times.get("backprojection"), 0.0);
+    EXPECT_GT(times.get("registration"), 0.0);
+  }
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.histograms.at("pipeline.stage.backprojection").count, 3u);
+  EXPECT_EQ(snap.histograms.at("pipeline.stage.registration").count, 2u);
+  EXPECT_EQ(snap.histograms.at("pipeline.frame.latency_s").count, 3u);
+  EXPECT_EQ(snap.counters.at("pipeline.frames"), 3u);
+  EXPECT_EQ(snap.counters.at("queue.pipeline.pulse.pushed"), 3u);
+  EXPECT_EQ(snap.counters.at("queue.pipeline.image.popped"), 3u);
+  EXPECT_EQ(snap.counters.at("queue.pipeline.result.popped"), 3u);
+  EXPECT_GE(snap.gauges.at("queue.pipeline.image.depth").max, 1);
+  // Every queue was closed exactly once during orderly shutdown.
+  EXPECT_EQ(snap.counters.at("queue.pipeline.pulse.close"), 1u);
+  EXPECT_EQ(snap.counters.at("queue.pipeline.image.close"), 1u);
+  EXPECT_EQ(snap.counters.at("queue.pipeline.result.close"), 1u);
 }
 
 TEST(Pipeline, AccumulatorCombinesBatchesAcrossFrames) {

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Build and run the test suite under sanitizers.
+#
+#   tools/run_sanitized_tests.sh [asan|tsan|all]   (default: all)
+#
+# Two configurations, mirroring the SARBP_SANITIZE CMake presets:
+#
+#   build-asan  -DSARBP_SANITIZE=address;undefined — full ctest suite.
+#   build-tsan  -DSARBP_SANITIZE=thread           — the concurrency-heavy
+#               test binaries (queue, pipeline shutdown, observability),
+#               run directly with OMP_NUM_THREADS=1. libgomp is not built
+#               with TSan instrumentation, so OpenMP parallel regions
+#               produce false positives; pinning OpenMP to one thread keeps
+#               the std::thread synchronization under test fully visible
+#               to TSan without the noise.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_asan() {
+  echo "=== address+undefined sanitizer: configure, build, full ctest ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSARBP_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -j "$jobs"
+}
+
+run_tsan() {
+  echo "=== thread sanitizer: concurrency-focused test binaries ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSARBP_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$jobs" --target \
+    test_common test_obs test_pipeline
+  for t in test_common test_obs test_pipeline; do
+    echo "--- tsan: $t ---"
+    OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
+  done
+}
+
+case "$mode" in
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all)  run_asan; run_tsan ;;
+  *) echo "usage: $0 [asan|tsan|all]" >&2; exit 2 ;;
+esac
+echo "sanitized test run ($mode): OK"

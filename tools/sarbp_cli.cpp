@@ -15,6 +15,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "backprojection/backprojector.h"
 #include "backprojection/ffbp.h"
@@ -23,6 +24,8 @@
 #include "geometry/trajectory.h"
 #include "io/history_io.h"
 #include "io/image_io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "pipeline/pipeline.h"
 #include "quality/metrics.h"
 #include "sim/collector.h"
@@ -33,13 +36,27 @@ namespace {
 using namespace sarbp;
 
 struct Cli {
-  int argc;
-  char** argv;
+  /// Tokens after the subcommand; "--key=value" is split into two tokens so
+  /// both spellings work.
+  std::vector<std::string> tokens;
+
+  Cli(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      const std::string token = argv[i];
+      const std::size_t eq = token.find('=');
+      if (token.rfind("--", 0) == 0 && eq != std::string::npos) {
+        tokens.push_back(token.substr(0, eq));
+        tokens.push_back(token.substr(eq + 1));
+      } else {
+        tokens.push_back(token);
+      }
+    }
+  }
 
   [[nodiscard]] std::optional<std::string> get(const char* key) const {
     const std::string flag = std::string("--") + key;
-    for (int i = 2; i + 1 < argc; ++i) {
-      if (flag == argv[i]) return std::string(argv[i + 1]);
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (flag == tokens[i]) return tokens[i + 1];
     }
     return std::nullopt;
   }
@@ -53,8 +70,8 @@ struct Cli {
   }
   [[nodiscard]] bool has(const char* key) const {
     const std::string flag = std::string("--") + key;
-    for (int i = 2; i < argc; ++i) {
-      if (flag == argv[i]) return true;
+    for (const auto& token : tokens) {
+      if (flag == token) return true;
     }
     return false;
   }
@@ -247,7 +264,10 @@ void usage() {
                "  info     --in f.sarbp\n"
                "  image    --in f.sarbp --out f.npy [--pgm f.pgm --ix 256 "
                "--block 64 --baseline | --scalar | --ffbp --group 4]\n"
-               "  pipeline --frames 3 [--ix 128 --pulses 96 --out-prefix p_]\n");
+               "  pipeline --frames 3 [--ix 128 --pulses 96 --out-prefix p_]\n"
+               "every command accepts --metrics-out=metrics.json to dump the\n"
+               "structured observability registry (stage spans, queue gauges,\n"
+               "throughput) as schema-versioned JSON\n");
 }
 
 }  // namespace
@@ -260,10 +280,26 @@ int main(int argc, char** argv) {
   const Cli cli{argc, argv};
   const std::string command = argv[1];
   try {
-    if (command == "simulate") return cmd_simulate(cli);
-    if (command == "info") return cmd_info(cli);
-    if (command == "image") return cmd_image(cli);
-    if (command == "pipeline") return cmd_pipeline(cli);
+    int rc = 2;
+    bool known = true;
+    if (command == "simulate") {
+      rc = cmd_simulate(cli);
+    } else if (command == "info") {
+      rc = cmd_info(cli);
+    } else if (command == "image") {
+      rc = cmd_image(cli);
+    } else if (command == "pipeline") {
+      rc = cmd_pipeline(cli);
+    } else {
+      known = false;
+    }
+    if (known) {
+      if (const auto metrics_out = cli.get("metrics-out")) {
+        obs::write_json_file(obs::registry(), *metrics_out);
+        std::printf("wrote metrics to %s\n", metrics_out->c_str());
+      }
+      return rc;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sarbp %s: %s\n", command.c_str(), e.what());
     return 1;
