@@ -1,0 +1,111 @@
+// Job-service throughput bench: replays the canonical repeated-scene trace
+// through the multi-tenant image-formation service, sweeping the worker
+// count and toggling the formation-plan cache. Reports throughput, latency
+// percentiles, and per-request setup time with the cache on vs off — the
+// cache's whole value proposition is that repeated-geometry requests skip
+// the ASR table construction, so `setup(hit)` should collapse toward zero
+// while `setup(miss)` stays at the full build cost.
+//
+//   service_throughput [--scenes 4 --repeats 6 --ix 128 --pulses 64
+//                       --block 32 --workers 1,2,4 --metrics-out m.json]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+#include "service/trace.h"
+
+namespace {
+
+using namespace sarbp;
+
+std::vector<int> parse_worker_list(const std::string& spec) {
+  std::vector<int> workers;
+  std::string current;
+  for (const char c : spec + ",") {
+    if (c == ',') {
+      if (!current.empty()) workers.push_back(std::atoi(current.c_str()));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  return workers;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const int scenes = static_cast<int>(args.get("scenes", 4));
+  const int repeats = static_cast<int>(args.get("repeats", 6));
+  const Index image = args.get("ix", 128);
+  const Index pulses = args.get("pulses", 64);
+  const Index block = args.get("block", 32);
+  std::vector<int> worker_counts = parse_worker_list(args.gets("workers"));
+  if (worker_counts.empty()) worker_counts = {1, 2, 4};
+
+  bench::print_header("job service throughput: workers x plan cache");
+  std::printf("trace: %d scenes x %d repeats, %lldx%lld px, %lld pulses, "
+              "ASR block %lld\n",
+              scenes, repeats, static_cast<long long>(image),
+              static_cast<long long>(image), static_cast<long long>(pulses),
+              static_cast<long long>(block));
+  const service::Trace trace = service::make_repeated_scene_trace(
+      scenes, repeats, image, pulses, block);
+
+  bench::print_rule();
+  std::printf("%7s %6s %9s %9s %9s %9s %10s %10s %6s %6s\n", "workers",
+              "cache", "jobs/s", "p50 s", "p90 s", "p99 s", "setup-hit",
+              "setup-miss", "hits", "miss");
+  bench::print_rule();
+
+  double setup_hit = 0.0;
+  double setup_miss = 0.0;
+  for (const int workers : worker_counts) {
+    for (const bool cache_on : {false, true}) {
+      service::ServiceConfig config;
+      config.workers = workers;
+      config.max_pending = static_cast<std::size_t>(scenes * repeats + 1);
+      config.plan_cache_capacity =
+          cache_on ? static_cast<std::size_t>(scenes) : 0;
+      service::ImageFormationService srv(config);
+      const service::ReplayStats stats = service::replay_trace(trace, srv);
+      srv.drain();
+
+      std::printf("%7d %6s %9.2f %9.4f %9.4f %9.4f %10.5f %10.5f %6zu %6zu\n",
+                  workers, cache_on ? "on" : "off",
+                  stats.throughput_jobs_per_s, stats.latency_p50_s,
+                  stats.latency_p90_s, stats.latency_p99_s,
+                  stats.mean_setup_hit_s, stats.mean_setup_miss_s,
+                  stats.plan_hits, stats.plan_misses);
+      if (stats.failed + stats.cancelled + stats.expired + stats.rejected > 0) {
+        std::printf("  !! %zu failed, %zu cancelled, %zu expired, "
+                    "%zu rejected\n",
+                    stats.failed, stats.cancelled, stats.expired,
+                    stats.rejected);
+      }
+      if (cache_on && stats.plan_hits > 0) {
+        setup_hit = stats.mean_setup_hit_s;
+        setup_miss = stats.mean_setup_miss_s;
+      }
+    }
+  }
+  bench::print_rule();
+  if (setup_miss > 0.0) {
+    std::printf("plan-cache setup speedup (last cache-on row): %.1fx "
+                "(%.5f s -> %.5f s per request)\n",
+                setup_hit > 0.0 ? setup_miss / setup_hit : 0.0, setup_miss,
+                setup_hit);
+  }
+
+  const std::string metrics_out = args.gets("metrics-out");
+  if (!metrics_out.empty()) {
+    obs::write_json_file(obs::registry(), metrics_out);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

@@ -14,35 +14,19 @@
 //
 // Loop structure is block-outer / pulse-inner (the cache-blocking cube C of
 // Fig. 5(b)): one block's output tile stays resident while every pulse in
-// the assigned range streams over it.
-#include <cmath>
+// the assigned range streams over it. The quadratic fit and the inner sweep
+// live in kernel_asr_block.h, shared with the service's cached-plan
+// executor; this file owns only the streaming table construction.
 #include <numbers>
 
 #include "asr/block_plan.h"
 #include "asr/quadratic.h"
 #include "asr/tables.h"
 #include "backprojection/kernel.h"
+#include "backprojection/kernel_asr_block.h"
 #include "common/check.h"
 
 namespace sarbp::bp {
-namespace {
-
-/// Quadratic for a block under the chosen loop order. For kYInner the l/m
-/// roles are the image's y/x axes; sqrt(x^2+y^2+alpha^2) is symmetric under
-/// swapping its first two arguments, so swapping the horizontal components
-/// of both points yields the swapped-axis expansion.
-asr::Quadratic2D block_quadratic(const geometry::Vec3& centre,
-                                 const geometry::Vec3& radar, double spacing,
-                                 geometry::LoopOrder order) {
-  if (order == geometry::LoopOrder::kXInner) {
-    return asr::range_quadratic(centre, radar, spacing, spacing);
-  }
-  const geometry::Vec3 centre_swapped{centre.y, centre.x, centre.z};
-  const geometry::Vec3 radar_swapped{radar.y, radar.x, radar.z};
-  return asr::range_quadratic(centre_swapped, radar_swapped, spacing, spacing);
-}
-
-}  // namespace
 
 void backproject_asr_scalar(const sim::PhaseHistory& history,
                             const geometry::ImageGrid& grid,
@@ -75,62 +59,12 @@ void backproject_asr_scalar(const sim::PhaseHistory& history,
 
     for (Index p = pulse_begin; p < pulse_end; ++p) {
       const auto& meta = history.meta(p);
-      const CFloat* in = history.pulse(p).data();
       const asr::Quadratic2D q =
-          block_quadratic(centre, meta.position, grid.spacing(), order);
+          block_range_quadratic(centre, meta.position, grid.spacing(), order);
       asr::build_block_tables_fast(q, meta.start_range_m, history.bin_spacing(),
-                              two_pi_k, len_l, len_m, tables);
-
-      for (Index m = 0; m < len_m; ++m) {
-        const float bin_b = tables.bin_b[static_cast<std::size_t>(m)];
-        const float bin_c = tables.bin_c[static_cast<std::size_t>(m)];
-        const float psi_r = tables.psi_re[static_cast<std::size_t>(m)];
-        const float psi_i = tables.psi_im[static_cast<std::size_t>(m)];
-        const float gam_r = tables.gam_re[static_cast<std::size_t>(m)];
-        const float gam_i = tables.gam_im[static_cast<std::size_t>(m)];
-        // Output pointers: l walks x (stride 1) or y (stride tile width).
-        float* out_re;
-        float* out_im;
-        Index stride;
-        if (x_inner) {
-          out_re = out.row_re(by + m) + bx;
-          out_im = out.row_im(by + m) + bx;
-          stride = 1;
-        } else {
-          out_re = out.row_re(by) + bx + m;
-          out_im = out.row_im(by) + bx + m;
-          stride = out.width();
-        }
-        float g_r = 1.0f;
-        float g_i = 0.0f;
-        for (Index l = 0; l < len_l; ++l) {
-          const float bin = tables.bin_a[static_cast<std::size_t>(l)] + bin_b +
-                            static_cast<float>(l) * bin_c;
-          // arg = Phi[l] * Psi[m] * gamma
-          const float phi_r = tables.phi_re[static_cast<std::size_t>(l)];
-          const float phi_i = tables.phi_im[static_cast<std::size_t>(l)];
-          const float t_r = phi_r * g_r - phi_i * g_i;
-          const float t_i = phi_r * g_i + phi_i * g_r;
-          const float a_r = t_r * psi_r - t_i * psi_i;
-          const float a_i = t_r * psi_i + t_i * psi_r;
-          // gamma *= Gamma[m]
-          const float ng_r = g_r * gam_r - g_i * gam_i;
-          g_i = g_r * gam_i + g_i * gam_r;
-          g_r = ng_r;
-          if (bin >= 0.0f) {
-            const auto ibin = static_cast<Index>(bin);
-            if (ibin + 1 < samples) {
-              const float frac = bin - static_cast<float>(ibin);
-              const CFloat v0 = in[ibin];
-              const CFloat v1 = in[ibin + 1];
-              const float s_r = v0.real() + frac * (v1.real() - v0.real());
-              const float s_i = v0.imag() + frac * (v1.imag() - v0.imag());
-              out_re[l * stride] += a_r * s_r - a_i * s_i;
-              out_im[l * stride] += a_r * s_i + a_i * s_r;
-            }
-          }
-        }
-      }
+                                   two_pi_k, len_l, len_m, tables);
+      asr_sweep_block(tables, history.pulse(p).data(), samples, x_inner, bx,
+                      by, len_l, len_m, out);
     }
   }
 }

@@ -14,6 +14,7 @@
 #include "asr/quadratic.h"
 #include "asr/tables.h"
 #include "backprojection/kernel.h"
+#include "backprojection/kernel_asr_block.h"
 #include "common/aligned.h"
 #include "common/check.h"
 
@@ -271,22 +272,6 @@ void asr_rows_avx2(const asr::BlockTables& t, const float* soa_re,
 
 #endif  // ISA selection
 
-#if defined(__AVX512F__) || defined(__AVX2__)
-
-asr::Quadratic2D block_quadratic_simd(const geometry::Vec3& centre,
-                                      const geometry::Vec3& radar,
-                                      double spacing,
-                                      geometry::LoopOrder order) {
-  if (order == geometry::LoopOrder::kXInner) {
-    return asr::range_quadratic(centre, radar, spacing, spacing);
-  }
-  const geometry::Vec3 centre_swapped{centre.y, centre.x, centre.z};
-  const geometry::Vec3 radar_swapped{radar.y, radar.x, radar.z};
-  return asr::range_quadratic(centre_swapped, radar_swapped, spacing, spacing);
-}
-
-#endif
-
 }  // namespace
 
 bool asr_simd_available() { return kSimdWidth > 1; }
@@ -328,7 +313,7 @@ void backproject_asr_simd(const sim::PhaseHistory& history,
     for (Index p = pulse_begin; p < pulse_end; ++p) {
       const auto& meta = history.meta(p);
       const asr::Quadratic2D q =
-          block_quadratic_simd(centre, meta.position, grid.spacing(), order);
+          block_range_quadratic(centre, meta.position, grid.spacing(), order);
       asr::build_block_tables_fast(q, meta.start_range_m, history.bin_spacing(),
                               two_pi_k, len_l, len_m, tables);
       const float* soa_re = history.pulse_re(p).data();

@@ -17,6 +17,7 @@
 // global obs registry; unnamed queues carry no instrumentation cost.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -70,6 +71,30 @@ class BoundedQueue {
     return true;
   }
 
+  /// Deadline-aware push: waits up to `timeout` for space. Returns false on
+  /// timeout (item dropped, queue still full) or once the queue is closed —
+  /// whichever comes first. A close() during the wait wins over the
+  /// deadline: the call returns false immediately, like push().
+  template <class Rep, class Period>
+  bool try_push_for(T item, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (items_.size() >= capacity_ && !closed_) {
+      if (blocked_push_) blocked_push_->add();
+      if (!not_full_.wait_for(lock, timeout, [&] {
+            return items_.size() < capacity_ || closed_;
+          })) {
+        return false;  // deadline passed, still full
+      }
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (depth_) depth_->set(static_cast<std::int64_t>(items_.size()));
+    if (pushed_) pushed_->add();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Non-blocking push. Returns false when full or closed.
   bool try_push(T item) {
     {
@@ -90,6 +115,30 @@ class BoundedQueue {
     if (items_.empty() && !closed_) {
       if (blocked_pop_) blocked_pop_->add();
       not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    if (depth_) depth_->set(static_cast<std::int64_t>(items_.size()));
+    if (popped_) popped_->add();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Deadline-aware pop: waits up to `timeout` for an item. Returns nullopt
+  /// on timeout *or* end-of-stream (closed and drained); callers that need
+  /// to tell the two apart check closed() && size() == 0. Backlog items are
+  /// still delivered after close(), exactly like pop().
+  template <class Rep, class Period>
+  std::optional<T> try_pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (items_.empty() && !closed_) {
+      if (blocked_pop_) blocked_pop_->add();
+      if (!not_empty_.wait_for(lock, timeout,
+                               [&] { return !items_.empty() || closed_; })) {
+        return std::nullopt;  // deadline passed, still empty
+      }
     }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());

@@ -1,0 +1,224 @@
+// Job model of the image-formation service: the request envelope, the
+// QUEUED -> RUNNING -> {DONE, FAILED, CANCELLED, EXPIRED} lifecycle, and
+// the handle a submitter holds while the job moves through the scheduler.
+//
+// Thread-safety contract: state() is a lock-free read; transitions happen
+// under the handle's mutex so a terminal state and its JobResult become
+// visible atomically to wait()/result(). cancel() is safe from any thread
+// at any point in the lifecycle — a QUEUED job transitions immediately, a
+// RUNNING job is interrupted at the worker's next inter-block checkpoint
+// (see service.h), and cancelling a terminal job is a no-op.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "asr/block_plan.h"
+#include "common/grid2d.h"
+#include "common/region.h"
+#include "common/types.h"
+#include "geometry/grid.h"
+#include "obs/metrics.h"
+#include "sim/phase_history.h"
+
+namespace sarbp::service {
+
+/// Scheduling class. Strict priority: the scheduler never runs a lower
+/// class while a higher one has work; FIFO within a class.
+enum class Priority { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr int kNumPriorities = 3;
+
+[[nodiscard]] constexpr const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+
+enum class JobState {
+  kQueued,     ///< admitted, waiting for a worker
+  kRunning,    ///< a worker is forming the image
+  kDone,       ///< image formed; JobResult::image is valid
+  kFailed,     ///< formation threw; JobResult::error explains
+  kCancelled,  ///< cancel() won the race (queued or between ASR blocks)
+  kExpired,    ///< the deadline passed before or during formation
+};
+
+[[nodiscard]] constexpr const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kExpired: return "expired";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_terminal(JobState s) {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+/// One image-formation request. `pulses` is shared so many requests over
+/// the same collection (the repeated-scene case) alias one phase history.
+struct ImageFormationRequest {
+  geometry::ImageGrid grid{0, 0, 1.0};
+  /// Sub-rectangle of the grid to form; empty (default) means the full
+  /// grid. Plans are keyed per region, so tiled sub-image requests each
+  /// get their own cached plan.
+  Region region;
+  std::shared_ptr<const sim::PhaseHistory> pulses;
+  /// ASR approximation block (accuracy knob, paper §3.5).
+  Index asr_block_w = asr::kDefaultBlock;
+  Index asr_block_h = asr::kDefaultBlock;
+  Priority priority = Priority::kNormal;
+  /// Absolute completion deadline. Checked at dequeue and between ASR
+  /// blocks while running; a miss yields kExpired, not a partial image.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Free-form submitter label (multi-tenant accounting in traces/logs).
+  std::string tenant;
+
+  [[nodiscard]] Region effective_region() const {
+    return region.empty() ? Region{0, 0, grid.width(), grid.height()} : region;
+  }
+};
+
+/// Outcome of a finished job. `image` covers the request's effective
+/// region (origin at the region's corner) and is valid only for kDone.
+struct JobResult {
+  JobState state = JobState::kFailed;
+  Grid2D<CFloat> image{0, 0};
+  std::string error;
+  bool plan_cache_hit = false;
+  double queue_seconds = 0.0;    ///< admission -> dequeue
+  double setup_seconds = 0.0;    ///< plan lookup/build (the cacheable part)
+  double compute_seconds = 0.0;  ///< block sweeps
+  double latency_seconds = 0.0;  ///< admission -> terminal
+  /// Global completion order (0-based) across the owning service — the
+  /// observable the priority tests assert on.
+  std::uint64_t completion_index = 0;
+};
+
+class ImageFormationService;
+
+/// Shared handle to one submitted job. The service keeps it queued; the
+/// submitter polls or waits on it. Destroying the service resolves every
+/// handle (drain), so wait() never blocks on a dead service.
+class JobHandle {
+ public:
+  [[nodiscard]] JobState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] Priority priority() const { return request_.priority; }
+  [[nodiscard]] const std::string& tenant() const { return request_.tenant; }
+
+  /// Requests cancellation. A QUEUED job transitions to kCancelled
+  /// immediately; a RUNNING job transitions at the worker's next
+  /// inter-block checkpoint. Returns false when the job was already
+  /// terminal (too late to cancel).
+  bool cancel() {
+    cancel_requested_.store(true, std::memory_order_release);
+    std::unique_lock lock(mutex_);
+    if (state() != JobState::kQueued && state() != JobState::kRunning) {
+      return false;
+    }
+    if (state() == JobState::kQueued) {
+      finish_locked(JobState::kCancelled, lock);
+    }
+    return true;  // running: the worker observes the flag between blocks
+  }
+
+  /// Blocks until the job reaches a terminal state; returns the result.
+  const JobResult& wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return is_terminal(state()); });
+    return result_;
+  }
+
+  /// Bounded wait; true when the job is terminal within `timeout`.
+  template <class Rep, class Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] { return is_terminal(state()); });
+  }
+
+  /// Terminal result; call only after wait()/wait_for() succeeded (or
+  /// state() reported a terminal state).
+  [[nodiscard]] const JobResult& result() const {
+    std::lock_guard lock(mutex_);
+    return result_;
+  }
+
+ private:
+  friend class ImageFormationService;
+
+  explicit JobHandle(ImageFormationRequest req) : request_(std::move(req)) {}
+
+  [[nodiscard]] bool cancel_requested() const {
+    return cancel_requested_.load(std::memory_order_acquire);
+  }
+
+  /// QUEUED -> RUNNING; false when a cancel/expiry already won.
+  bool start_running() {
+    std::lock_guard lock(mutex_);
+    if (state() != JobState::kQueued) return false;
+    state_.store(JobState::kRunning, std::memory_order_release);
+    return true;
+  }
+
+  /// Transition to a terminal state, stamp bookkeeping, wake waiters, and
+  /// bump the service-level accounting shared through the registry. Safe to
+  /// call once; later calls are no-ops (first terminal transition wins).
+  void finish(JobState terminal) {
+    std::unique_lock lock(mutex_);
+    if (is_terminal(state())) return;
+    finish_locked(terminal, lock);
+  }
+
+  void finish_locked(JobState terminal, std::unique_lock<std::mutex>& lock) {
+    result_.state = terminal;
+    result_.latency_seconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - submitted_)
+                                  .count();
+    if (completion_seq_ != nullptr) {
+      result_.completion_index =
+          completion_seq_->fetch_add(1, std::memory_order_acq_rel);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter(std::string("service.jobs.") +
+                        job_state_name(terminal))
+          .add();
+      metrics_->histogram(std::string("service.job.latency_s.") +
+                          priority_name(request_.priority))
+          .record(result_.latency_seconds);
+    }
+    state_.store(terminal, std::memory_order_release);
+    lock.unlock();
+    cv_.notify_all();
+  }
+
+  ImageFormationRequest request_;
+  std::atomic<JobState> state_{JobState::kQueued};
+  std::atomic<bool> cancel_requested_{false};
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  JobResult result_;
+  // Stamped by the service at admission. The registry and sequence pointer
+  // must outlive every in-flight handle; the service guarantees that by
+  // draining before destruction.
+  std::chrono::steady_clock::time_point submitted_{};
+  obs::Registry* metrics_ = nullptr;
+  std::atomic<std::uint64_t>* completion_seq_ = nullptr;
+};
+
+}  // namespace sarbp::service

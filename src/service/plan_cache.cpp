@@ -1,0 +1,243 @@
+#include "service/plan_cache.h"
+
+#include <cstring>
+#include <numbers>
+
+#include "backprojection/kernel_asr_block.h"
+#include "common/check.h"
+
+namespace sarbp::service {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t word) {
+  // Byte-wise FNV-1a over the 8-byte word.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+}
+
+inline std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Approximate payload of one BlockTables (the float vectors).
+std::size_t tables_bytes(const asr::BlockTables& t) {
+  return (t.bin_a.size() + t.bin_b.size() + t.bin_c.size() + t.phi_re.size() +
+          t.phi_im.size() + t.psi_re.size() + t.psi_im.size() +
+          t.gam_re.size() + t.gam_im.size()) *
+         sizeof(float);
+}
+
+}  // namespace
+
+std::uint64_t pulse_geometry_signature(const sim::PhaseHistory& history) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(history.num_pulses()));
+  fnv_mix(h, static_cast<std::uint64_t>(history.samples_per_pulse()));
+  fnv_mix(h, double_bits(history.bin_spacing()));
+  fnv_mix(h, double_bits(history.wavenumber()));
+  for (Index p = 0; p < history.num_pulses(); ++p) {
+    const auto& meta = history.meta(p);
+    fnv_mix(h, double_bits(meta.position.x));
+    fnv_mix(h, double_bits(meta.position.y));
+    fnv_mix(h, double_bits(meta.position.z));
+    fnv_mix(h, double_bits(meta.start_range_m));
+  }
+  return h;
+}
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(k.grid_w));
+  fnv_mix(h, static_cast<std::uint64_t>(k.grid_h));
+  fnv_mix(h, double_bits(k.spacing));
+  fnv_mix(h, double_bits(k.centre.x));
+  fnv_mix(h, double_bits(k.centre.y));
+  fnv_mix(h, double_bits(k.centre.z));
+  fnv_mix(h, static_cast<std::uint64_t>(k.region.x0));
+  fnv_mix(h, static_cast<std::uint64_t>(k.region.y0));
+  fnv_mix(h, static_cast<std::uint64_t>(k.region.width));
+  fnv_mix(h, static_cast<std::uint64_t>(k.region.height));
+  fnv_mix(h, static_cast<std::uint64_t>(k.block_w));
+  fnv_mix(h, static_cast<std::uint64_t>(k.block_h));
+  fnv_mix(h, k.pulse_signature);
+  return static_cast<std::size_t>(h);
+}
+
+PlanKey make_plan_key(const geometry::ImageGrid& grid, const Region& region,
+                      Index block_w, Index block_h,
+                      const sim::PhaseHistory& history) {
+  PlanKey key;
+  key.grid_w = grid.width();
+  key.grid_h = grid.height();
+  key.spacing = grid.spacing();
+  key.centre = grid.centre();
+  key.region = region;
+  key.block_w = block_w;
+  key.block_h = block_h;
+  key.pulse_signature = pulse_geometry_signature(history);
+  return key;
+}
+
+std::shared_ptr<const FormationPlan> build_formation_plan(
+    const geometry::ImageGrid& grid, const Region& region, Index block_w,
+    Index block_h, const sim::PhaseHistory& history) {
+  ensure(!region.empty(), "build_formation_plan: empty region");
+  ensure(block_w > 0 && block_h > 0,
+         "build_formation_plan: ASR block must be positive");
+  ensure(history.num_pulses() > 0, "build_formation_plan: no pulses");
+
+  auto plan = std::make_shared<FormationPlan>();
+  plan->key = make_plan_key(grid, region, block_w, block_h, history);
+  plan->blocks = asr::plan_blocks(region.x0, region.y0, region.width,
+                                  region.height, block_w, block_h);
+
+  const Index pulses = history.num_pulses();
+  plan->pulse_order.resize(static_cast<std::size_t>(pulses));
+  for (Index p = 0; p < pulses; ++p) {
+    plan->pulse_order[static_cast<std::size_t>(p)] =
+        geometry::choose_loop_order(history.meta(p).position, grid.centre());
+  }
+
+  const double two_pi_k = 2.0 * std::numbers::pi * history.wavenumber();
+  plan->tables.resize(plan->blocks.size() * static_cast<std::size_t>(pulses));
+  for (std::size_t b = 0; b < plan->blocks.size(); ++b) {
+    const auto& block = plan->blocks[b];
+    const geometry::Vec3 centre = grid.position_f(
+        static_cast<double>(block.x0) +
+            0.5 * static_cast<double>(block.width - 1),
+        static_cast<double>(block.y0) +
+            0.5 * static_cast<double>(block.height - 1));
+    for (Index p = 0; p < pulses; ++p) {
+      const geometry::LoopOrder order =
+          plan->pulse_order[static_cast<std::size_t>(p)];
+      const bool x_inner = order == geometry::LoopOrder::kXInner;
+      const Index len_l = x_inner ? block.width : block.height;
+      const Index len_m = x_inner ? block.height : block.width;
+      const auto& meta = history.meta(p);
+      const asr::Quadratic2D q = bp::block_range_quadratic(
+          centre, meta.position, grid.spacing(), order);
+      asr::BlockTables& tables =
+          plan->tables[b * static_cast<std::size_t>(pulses) +
+                       static_cast<std::size_t>(p)];
+      asr::build_block_tables_fast(q, meta.start_range_m,
+                                   history.bin_spacing(), two_pi_k, len_l,
+                                   len_m, tables);
+      plan->bytes += tables_bytes(tables);
+    }
+  }
+  return plan;
+}
+
+bool execute_plan(const FormationPlan& plan, const sim::PhaseHistory& history,
+                  bp::SoaTile& tile, const std::function<bool()>& checkpoint) {
+  const Index pulses = history.num_pulses();
+  ensure(pulses == plan.num_pulses(),
+         "execute_plan: history pulse count does not match the plan");
+  ensure(tile.width() == plan.key.region.width &&
+             tile.height() == plan.key.region.height,
+         "execute_plan: tile/region shape mismatch");
+  const Index samples = history.samples_per_pulse();
+
+  // Block-outer / pulse-inner, the cache-blocking order of the scalar
+  // kernel: one block's output rows stay resident while the pulses stream.
+  for (std::size_t b = 0; b < plan.blocks.size(); ++b) {
+    if (checkpoint && !checkpoint()) return false;
+    const auto& block = plan.blocks[b];
+    const Index bx = block.x0 - plan.key.region.x0;
+    const Index by = block.y0 - plan.key.region.y0;
+    for (Index p = 0; p < pulses; ++p) {
+      const bool x_inner =
+          plan.pulse_order[static_cast<std::size_t>(p)] ==
+          geometry::LoopOrder::kXInner;
+      const Index len_l = x_inner ? block.width : block.height;
+      const Index len_m = x_inner ? block.height : block.width;
+      bp::asr_sweep_block(plan.tables_for(b, p), history.pulse(p).data(),
+                          samples, x_inner, bx, by, len_l, len_m, tile);
+    }
+  }
+  return true;
+}
+
+PlanCache::PlanCache(std::size_t capacity, obs::Registry* metrics)
+    : capacity_(capacity) {
+  if constexpr (obs::kEnabled) {
+    auto& reg = metrics != nullptr ? *metrics : obs::registry();
+    hits_ = &reg.counter("service.plan_cache.hits");
+    misses_ = &reg.counter("service.plan_cache.misses");
+    evictions_ = &reg.counter("service.plan_cache.evictions");
+    entries_gauge_ = &reg.gauge("service.plan_cache.entries");
+    bytes_gauge_ = &reg.gauge("service.plan_cache.bytes");
+  }
+}
+
+std::shared_ptr<const FormationPlan> PlanCache::get_or_build(
+    const geometry::ImageGrid& grid, const Region& region, Index block_w,
+    Index block_h, const sim::PhaseHistory& history, bool* hit) {
+  const PlanKey key = make_plan_key(grid, region, block_w, block_h, history);
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      if (hits_) hits_->add();
+      if (hit != nullptr) *hit = true;
+      return *it->second;
+    }
+  }
+  if (misses_) misses_->add();
+  if (hit != nullptr) *hit = false;
+  auto plan = build_formation_plan(grid, region, block_w, block_h, history);
+  if (capacity_ > 0) {
+    std::lock_guard lock(mutex_);
+    if (index_.find(key) == index_.end()) {
+      insert_locked(plan);
+    }
+  }
+  return plan;
+}
+
+void PlanCache::insert_locked(std::shared_ptr<const FormationPlan> plan) {
+  lru_.push_front(std::move(plan));
+  index_[lru_.front()->key] = lru_.begin();
+  bytes_ += lru_.front()->bytes;
+  while (lru_.size() > capacity_) {
+    const auto& victim = lru_.back();
+    bytes_ -= victim->bytes;
+    index_.erase(victim->key);
+    lru_.pop_back();
+    if (evictions_) evictions_->add();
+  }
+  update_gauges_locked();
+}
+
+void PlanCache::update_gauges_locked() {
+  if (entries_gauge_) entries_gauge_->set(static_cast<std::int64_t>(lru_.size()));
+  if (bytes_gauge_) bytes_gauge_->set(static_cast<std::int64_t>(bytes_));
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t PlanCache::bytes() const {
+  std::lock_guard lock(mutex_);
+  return bytes_;
+}
+
+void PlanCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  update_gauges_locked();
+}
+
+}  // namespace sarbp::service

@@ -1,0 +1,148 @@
+// Formation plans and the LRU plan cache — the serving layer's answer to
+// the repeated-scene workload: many requests forming the same grid from
+// the same collection geometry (different priorities, tenants, or sample
+// data) share one precomputation.
+//
+// A FormationPlan captures everything the ASR sweep needs that depends
+// only on *geometry*, not on sample values: the block decomposition, the
+// per-pulse loop order (wavefront orientation), and the per-(block, pulse)
+// strength-reduction tables of paper Fig. 3(b) line 02. Building those
+// tables is the per-request setup cost; replaying a cached plan skips it
+// entirely, and because the executor drives the same inner sweep as the
+// scalar kernel (kernel_asr_block.h) the image is bit-identical to the
+// streaming path.
+//
+// Cache keying: (grid geometry, region, ASR block size, pulse-geometry
+// signature). The signature hashes per-pulse positions/start ranges plus
+// the sampling constants — two collections with equal trajectories hit the
+// same plan even when their sample payloads differ.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "asr/block_plan.h"
+#include "asr/tables.h"
+#include "backprojection/soa_tile.h"
+#include "common/region.h"
+#include "common/types.h"
+#include "geometry/grid.h"
+#include "geometry/wavefront.h"
+#include "obs/metrics.h"
+#include "sim/phase_history.h"
+
+namespace sarbp::service {
+
+/// FNV-1a over the per-pulse geometry (positions, start ranges) and the
+/// sampling constants (count, samples per pulse, bin spacing, wavenumber)
+/// — every input of the ASR tables except the sample values.
+[[nodiscard]] std::uint64_t pulse_geometry_signature(
+    const sim::PhaseHistory& history);
+
+struct PlanKey {
+  Index grid_w = 0;
+  Index grid_h = 0;
+  double spacing = 0.0;
+  geometry::Vec3 centre;
+  Region region;
+  Index block_w = 0;
+  Index block_h = 0;
+  std::uint64_t pulse_signature = 0;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const noexcept;
+};
+
+[[nodiscard]] PlanKey make_plan_key(const geometry::ImageGrid& grid,
+                                    const Region& region, Index block_w,
+                                    Index block_h,
+                                    const sim::PhaseHistory& history);
+
+/// Precomputed setup for one (grid, region, block size, pulse geometry).
+struct FormationPlan {
+  PlanKey key;
+  std::vector<asr::BlockSpec> blocks;
+  std::vector<geometry::LoopOrder> pulse_order;  ///< [pulses]
+  /// Per-(block, pulse) tables, block-major: tables[b * pulses + p].
+  std::vector<asr::BlockTables> tables;
+  std::size_t bytes = 0;  ///< approximate resident size (table payloads)
+
+  [[nodiscard]] Index num_pulses() const {
+    return static_cast<Index>(pulse_order.size());
+  }
+  [[nodiscard]] const asr::BlockTables& tables_for(std::size_t block,
+                                                   Index pulse) const {
+    return tables[block * pulse_order.size() + static_cast<std::size_t>(pulse)];
+  }
+};
+
+/// Builds a plan from scratch — the cache-miss path, and the "cache off"
+/// baseline the throughput bench compares against.
+[[nodiscard]] std::shared_ptr<const FormationPlan> build_formation_plan(
+    const geometry::ImageGrid& grid, const Region& region, Index block_w,
+    Index block_h, const sim::PhaseHistory& history);
+
+/// Replays a plan over `history`, accumulating into `tile` (shaped like the
+/// plan's region). `checkpoint` runs before every block sweep; returning
+/// false aborts the replay (cooperative cancellation / deadline expiry) and
+/// the partially-formed tile must be discarded. Returns true on completion.
+bool execute_plan(const FormationPlan& plan, const sim::PhaseHistory& history,
+                  bp::SoaTile& tile, const std::function<bool()>& checkpoint);
+
+/// Thread-safe LRU cache of formation plans.
+///
+/// A capacity of 0 disables retention: every lookup builds (and counts a
+/// miss) — the knob the bench uses for its cache-off baseline. Lookups that
+/// miss build *outside* the lock, so concurrent workers missing on the same
+/// key may build duplicate plans; the last insert wins and the duplicates
+/// are garbage-collected by shared_ptr. That trade keeps a slow build from
+/// stalling unrelated hits.
+///
+/// Metrics (under the provided registry or the global one):
+///   service.plan_cache.{hits,misses,evictions} counters,
+///   service.plan_cache.{entries,bytes} gauges.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity, obs::Registry* metrics = nullptr);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the plan for the request's geometry, building it on a miss.
+  /// `hit` (optional) reports whether the cache satisfied the lookup.
+  std::shared_ptr<const FormationPlan> get_or_build(
+      const geometry::ImageGrid& grid, const Region& region, Index block_w,
+      Index block_h, const sim::PhaseHistory& history, bool* hit = nullptr);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t bytes() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  void insert_locked(std::shared_ptr<const FormationPlan> plan);
+  void update_gauges_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Front = most recently used.
+  std::list<std::shared_ptr<const FormationPlan>> lru_;
+  std::unordered_map<PlanKey, decltype(lru_)::iterator, PlanKeyHash> index_;
+  std::size_t bytes_ = 0;
+
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+};
+
+}  // namespace sarbp::service

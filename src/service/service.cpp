@@ -1,0 +1,262 @@
+#include "service/service.h"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace sarbp::service {
+
+ImageFormationService::ImageFormationService(ServiceConfig config)
+    : config_(std::move(config)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : &obs::registry()),
+      plan_cache_(config_.plan_cache_capacity, metrics_),
+      // Tokens never outnumber pending jobs, so max_pending bounds both.
+      tokens_(config_.max_pending > 0 ? config_.max_pending : 1,
+              "service.tokens", metrics_),
+      gate_open_(!config_.start_paused) {
+  ensure(config_.workers > 0, "ImageFormationService: workers must be positive");
+  ensure(config_.max_pending > 0,
+         "ImageFormationService: max_pending must be positive");
+  static constexpr const char* kQueueNames[kNumPriorities] = {
+      "service.ready.high", "service.ready.normal", "service.ready.low"};
+  for (int p = 0; p < kNumPriorities; ++p) {
+    ready_[static_cast<std::size_t>(p)] = std::make_unique<BoundedQueue<JobPtr>>(
+        config_.max_pending, kQueueNames[p], metrics_);
+  }
+  if constexpr (obs::kEnabled) {
+    submitted_ = &metrics_->counter("service.jobs.submitted");
+    rejected_full_ = &metrics_->counter("service.rejected.queue_full");
+    rejected_shutdown_ = &metrics_->counter("service.rejected.shutting_down");
+    rejected_invalid_ = &metrics_->counter("service.rejected.invalid_request");
+    pending_gauge_ = &metrics_->gauge("service.pending");
+    busy_gauge_ = &metrics_->gauge("service.workers.busy");
+    queue_s_ = &metrics_->histogram("service.job.queue_s");
+    setup_s_ = &metrics_->histogram("service.job.setup_s");
+    compute_s_ = &metrics_->histogram("service.job.compute_s");
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ImageFormationService::~ImageFormationService() { drain(); }
+
+SubmitOutcome ImageFormationService::submit(ImageFormationRequest request) {
+  if (draining_.load(std::memory_order_acquire)) {
+    if (rejected_shutdown_) rejected_shutdown_->add();
+    return {nullptr, RejectReason::kShuttingDown};
+  }
+  const Region region = request.effective_region();
+  if (request.pulses == nullptr || request.pulses->num_pulses() <= 0 ||
+      region.empty() || request.asr_block_w <= 0 || request.asr_block_h <= 0 ||
+      region.x0 < 0 || region.y0 < 0 ||
+      region.x0 + region.width > request.grid.width() ||
+      region.y0 + region.height > request.grid.height()) {
+    if (rejected_invalid_) rejected_invalid_->add();
+    return {nullptr, RejectReason::kInvalidRequest};
+  }
+
+  const int pri = static_cast<int>(request.priority);
+  auto job = JobPtr(new JobHandle(std::move(request)));
+  job->submitted_ = std::chrono::steady_clock::now();
+  job->metrics_ = metrics_;
+  job->completion_seq_ = &completion_seq_;
+
+  // Admission: the ready queue for this class holds at most max_pending
+  // jobs; a full pending set makes this try_push_for wait out the grace
+  // period and then fail — the reject-with-reason overload behaviour.
+  if (std::size_t n = pending_.fetch_add(1, std::memory_order_acq_rel);
+      n >= config_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    if (config_.admission_grace.count() == 0 ||
+        !ready_[static_cast<std::size_t>(pri)]->try_push_for(
+            job, config_.admission_grace)) {
+      if (rejected_full_) rejected_full_->add();
+      return {nullptr, RejectReason::kQueueFull};
+    }
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+  } else if (!ready_[static_cast<std::size_t>(pri)]->try_push_for(
+                 job, config_.admission_grace)) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    const bool closed = ready_[static_cast<std::size_t>(pri)]->closed();
+    if (closed) {
+      if (rejected_shutdown_) rejected_shutdown_->add();
+      return {nullptr, RejectReason::kShuttingDown};
+    }
+    if (rejected_full_) rejected_full_->add();
+    return {nullptr, RejectReason::kQueueFull};
+  }
+  if (pending_gauge_) {
+    pending_gauge_->set(static_cast<std::int64_t>(
+        pending_.load(std::memory_order_relaxed)));
+  }
+
+  if (!tokens_.push(pri)) {
+    // drain() closed the token queue between our admission check and here.
+    // The job sits in a ready queue no worker will be told about — resolve
+    // the handle so nobody waits forever.
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      std::unique_lock lock(job->mutex_);
+      if (!is_terminal(job->state())) {
+        job->result_.error = "service shutting down";
+        job->finish_locked(JobState::kCancelled, lock);
+      }
+    }
+    if (rejected_shutdown_) rejected_shutdown_->add();
+    return {nullptr, RejectReason::kShuttingDown};
+  }
+  if (submitted_) submitted_->add();
+  return {std::move(job), RejectReason::kNone};
+}
+
+void ImageFormationService::resume() {
+  {
+    std::lock_guard lock(gate_mutex_);
+    gate_open_ = true;
+  }
+  gate_cv_.notify_all();
+}
+
+void ImageFormationService::drain() {
+  draining_.store(true, std::memory_order_release);
+  resume();  // paused workers must run to drain the backlog
+  tokens_.close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  for (auto& queue : ready_) queue->close();
+}
+
+void ImageFormationService::wait_gate() {
+  std::unique_lock lock(gate_mutex_);
+  gate_cv_.wait(lock, [&] { return gate_open_; });
+}
+
+void ImageFormationService::worker_loop() {
+  wait_gate();
+  // One token == one admitted job somewhere in the ready queues. After
+  // close(), pop() hands out the remaining backlog before signalling
+  // end-of-stream — the drain guarantee.
+  while (tokens_.pop().has_value()) {
+    JobPtr job = take_highest_priority();
+    if (job == nullptr) continue;  // defensive; the invariant says never
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    if (pending_gauge_) {
+      pending_gauge_->set(static_cast<std::int64_t>(
+          pending_.load(std::memory_order_relaxed)));
+    }
+    run_job(job);
+  }
+}
+
+ImageFormationService::JobPtr ImageFormationService::take_highest_priority() {
+  // A token guarantees a job exists, but another token-holder may snatch
+  // the one we saw first — the scan retries with a short timed pop per
+  // class until the invariant pays out.
+  while (true) {
+    for (auto& queue : ready_) {
+      if (auto job = queue->try_pop()) return std::move(*job);
+    }
+    for (auto& queue : ready_) {
+      if (auto job = queue->try_pop_for(std::chrono::microseconds(200))) {
+        return std::move(*job);
+      }
+    }
+  }
+}
+
+void ImageFormationService::run_job(const JobPtr& job) {
+  const auto now = std::chrono::steady_clock::now();
+  const double queued_for =
+      std::chrono::duration<double>(now - job->submitted_).count();
+  if (queue_s_) queue_s_->record(queued_for);
+
+  // Cancelled while queued: the handle is already terminal, just drop it.
+  if (is_terminal(job->state())) return;
+
+  const auto& request = job->request_;
+  if (request.deadline.has_value() && now > *request.deadline) {
+    std::unique_lock lock(job->mutex_);
+    if (!is_terminal(job->state())) {
+      job->result_.error = "deadline passed while queued";
+      job->result_.queue_seconds = queued_for;
+      job->finish_locked(JobState::kExpired, lock);
+    }
+    return;
+  }
+  if (!job->start_running()) return;
+
+  if (busy_gauge_) busy_gauge_->add(1);
+  struct BusyGuard {
+    obs::Gauge* gauge;
+    ~BusyGuard() {
+      if (gauge) gauge->add(-1);
+    }
+  } busy_guard{busy_gauge_};
+
+  const Region region = request.effective_region();
+  JobState outcome = JobState::kDone;
+  std::string error;
+  bool cache_hit = false;
+  double setup_seconds = 0.0;
+  double compute_seconds = 0.0;
+  Grid2D<CFloat> image(0, 0);
+  try {
+    Timer setup_timer;
+    const auto plan =
+        plan_cache_.get_or_build(request.grid, region, request.asr_block_w,
+                                 request.asr_block_h, *request.pulses,
+                                 &cache_hit);
+    setup_seconds = setup_timer.seconds();
+    if (setup_s_) setup_s_->record(setup_seconds);
+
+    // Cooperative checkpoint, polled before every ASR block sweep: the
+    // cancellation and deadline granularity is one block, never a whole
+    // image.
+    const auto checkpoint = [&]() -> bool {
+      if (config_.inter_block_hook) config_.inter_block_hook();
+      if (job->cancel_requested()) {
+        outcome = JobState::kCancelled;
+        error = "cancelled while running";
+        return false;
+      }
+      if (request.deadline.has_value() &&
+          std::chrono::steady_clock::now() > *request.deadline) {
+        outcome = JobState::kExpired;
+        error = "deadline passed while running";
+        return false;
+      }
+      return true;
+    };
+
+    Timer compute_timer;
+    bp::SoaTile tile(region.width, region.height);
+    if (execute_plan(*plan, *request.pulses, tile, checkpoint)) {
+      image = Grid2D<CFloat>(region.width, region.height);
+      tile.accumulate_into(image, Region{0, 0, region.width, region.height});
+    }
+    compute_seconds = compute_timer.seconds();
+    if (compute_s_) compute_s_->record(compute_seconds);
+  } catch (const std::exception& e) {
+    outcome = JobState::kFailed;
+    error = e.what();
+  }
+
+  std::unique_lock lock(job->mutex_);
+  if (is_terminal(job->state())) return;  // lost a race to cancel()
+  job->result_.queue_seconds = queued_for;
+  job->result_.setup_seconds = setup_seconds;
+  job->result_.compute_seconds = compute_seconds;
+  job->result_.plan_cache_hit = cache_hit;
+  job->result_.error = std::move(error);
+  if (outcome == JobState::kDone) job->result_.image = std::move(image);
+  job->finish_locked(outcome, lock);
+}
+
+}  // namespace sarbp::service

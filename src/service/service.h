@@ -1,0 +1,166 @@
+// Multi-tenant image-formation job service: a fixed worker pool behind a
+// strict-priority, FIFO-within-priority scheduler with admission control,
+// an LRU formation-plan cache, cooperative cancellation/deadline checks
+// between ASR blocks, and a graceful drain built on the BoundedQueue close
+// protocol (DESIGN.md §service).
+//
+// Scheduling structure: one BoundedQueue per priority class holds the
+// admitted jobs; a token queue (one token per admitted job) is what the
+// workers block on. A worker that wins a token is guaranteed at least one
+// job is queued somewhere, and always takes the highest-priority job
+// available at that instant — so a high-priority submission never waits
+// behind queued lower-priority work, only behind already-running jobs.
+//
+// Overload semantics: admission is bounded by `max_pending` jobs across
+// all classes. A submit against a full pending set waits up to
+// `admission_grace` for space, then is rejected with kQueueFull — callers
+// see the rejection immediately instead of unbounded queueing (the
+// serving-layer stability property; cf. bounded run queues in the
+// real-time SAR serving literature).
+//
+// Shutdown: drain() stops admission, lets the workers finish every queued
+// job (BoundedQueue close-then-drain), and joins them. The destructor
+// drains, so every JobHandle is resolved before the service dies and
+// wait() can never block on a dead service.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "obs/metrics.h"
+#include "service/job.h"
+#include "service/plan_cache.h"
+
+namespace sarbp::service {
+
+/// Why a submit was turned away.
+enum class RejectReason {
+  kNone,
+  kQueueFull,      ///< pending set at max_pending for longer than the grace
+  kShuttingDown,   ///< drain()/destructor already started
+  kInvalidRequest, ///< no pulses, empty grid, or a bad block size
+};
+
+[[nodiscard]] constexpr const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kShuttingDown: return "shutting_down";
+    case RejectReason::kInvalidRequest: return "invalid_request";
+  }
+  return "?";
+}
+
+struct SubmitOutcome {
+  std::shared_ptr<JobHandle> handle;  ///< null when rejected
+  RejectReason reject = RejectReason::kNone;
+
+  [[nodiscard]] bool admitted() const { return handle != nullptr; }
+};
+
+struct ServiceConfig {
+  /// Worker threads forming images (each runs one job at a time,
+  /// single-threaded — concurrency comes from jobs, not OpenMP).
+  int workers = 2;
+  /// Admission bound: maximum jobs queued (not yet dequeued by a worker)
+  /// across all priority classes.
+  std::size_t max_pending = 64;
+  /// How long submit() may wait for pending space before rejecting with
+  /// kQueueFull. Zero = reject immediately (pure admission control).
+  std::chrono::milliseconds admission_grace{0};
+  /// Formation-plan LRU capacity in entries; 0 disables caching (every
+  /// request rebuilds its plan — the bench's baseline mode).
+  std::size_t plan_cache_capacity = 8;
+  /// Test/ops hook: when true the workers hold at a gate until resume(),
+  /// so a batch of requests can be staged and released atomically.
+  bool start_paused = false;
+  /// Test hook: invoked at every inter-block checkpoint before the
+  /// cancellation/deadline checks. Lets tests synchronize with a RUNNING
+  /// job deterministically. Null in production.
+  std::function<void()> inter_block_hook;
+  /// Metrics sink; null selects the process-global obs::registry(). Must
+  /// outlive the service and every handle it issued.
+  obs::Registry* metrics = nullptr;
+};
+
+/// The job service. Instrumentation (per configured registry):
+///   counters   service.jobs.submitted, service.jobs.{done,failed,
+///              cancelled,expired}, service.rejected.{queue_full,
+///              shutting_down,invalid_request}
+///   gauges     service.pending, service.workers.busy
+///   histograms service.job.queue_s, service.job.setup_s,
+///              service.job.compute_s, service.job.latency_s.<priority>
+///   queues     queue.service.ready.<priority>.*, queue.service.tokens.*
+///   plan cache service.plan_cache.* (see plan_cache.h)
+class ImageFormationService {
+ public:
+  explicit ImageFormationService(ServiceConfig config);
+  ~ImageFormationService();
+
+  ImageFormationService(const ImageFormationService&) = delete;
+  ImageFormationService& operator=(const ImageFormationService&) = delete;
+
+  /// Admission-controlled submit. On success the returned handle tracks
+  /// the job through its lifecycle; on rejection `reject` says why and no
+  /// handle exists.
+  SubmitOutcome submit(ImageFormationRequest request);
+
+  /// Opens the start_paused gate. Idempotent; no-op when not paused.
+  void resume();
+
+  /// Stops admission, runs every queued job to a terminal state, joins the
+  /// workers. Idempotent; implied by the destructor.
+  void drain();
+
+  [[nodiscard]] obs::Registry& metrics() const { return *metrics_; }
+  [[nodiscard]] const PlanCache& plan_cache() const { return plan_cache_; }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  using JobPtr = std::shared_ptr<JobHandle>;
+
+  void worker_loop();
+  [[nodiscard]] JobPtr take_highest_priority();
+  void run_job(const JobPtr& job);
+  void wait_gate();
+
+  ServiceConfig config_;
+  obs::Registry* metrics_;
+  PlanCache plan_cache_;
+
+  /// Admitted jobs per priority class (FIFO within a class).
+  std::array<std::unique_ptr<BoundedQueue<JobPtr>>, kNumPriorities> ready_;
+  /// One token per admitted job; what the workers block on. Closed by
+  /// drain(): workers consume the backlog, then see end-of-stream.
+  BoundedQueue<int> tokens_;
+
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> completion_seq_{0};
+
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  bool gate_open_;
+
+  std::vector<std::thread> workers_;
+
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* rejected_full_ = nullptr;
+  obs::Counter* rejected_shutdown_ = nullptr;
+  obs::Counter* rejected_invalid_ = nullptr;
+  obs::Gauge* pending_gauge_ = nullptr;
+  obs::Gauge* busy_gauge_ = nullptr;
+  obs::Histogram* queue_s_ = nullptr;
+  obs::Histogram* setup_s_ = nullptr;
+  obs::Histogram* compute_s_ = nullptr;
+};
+
+}  // namespace sarbp::service

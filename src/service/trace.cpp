@@ -1,0 +1,339 @@
+#include "service/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <tuple>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "geometry/grid.h"
+#include "geometry/trajectory.h"
+#include "sim/collector.h"
+#include "sim/scene.h"
+
+namespace sarbp::service {
+namespace {
+
+// --- minimal JSON subset reader (objects, arrays, strings, numbers) ------
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    ensure(pos_ < text_.size() && text_[pos_] == c,
+           std::string("trace JSON: expected '") + c + "' at offset " +
+               std::to_string(pos_));
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: c = esc; break;
+        }
+      }
+      out.push_back(c);
+    }
+    ensure(pos_ < text_.size(), "trace JSON: unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  [[nodiscard]] double number() {
+    skip_ws();
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(text_.substr(pos_), &used);
+    } catch (...) {
+      ensure(false, "trace JSON: expected a number at offset " +
+                        std::to_string(pos_));
+    }
+    pos_ += used;
+    return value;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Priority parse_priority(const std::string& name) {
+  if (name == "high") return Priority::kHigh;
+  if (name == "normal") return Priority::kNormal;
+  if (name == "low") return Priority::kLow;
+  ensure(false, "trace JSON: unknown priority \"" + name + "\"");
+  return Priority::kNormal;
+}
+
+TraceEntry parse_entry(JsonCursor& cur) {
+  TraceEntry entry;
+  cur.expect('{');
+  if (!cur.consume('}')) {
+    do {
+      const std::string key = cur.string();
+      cur.expect(':');
+      if (key == "ix") {
+        entry.image = static_cast<Index>(cur.number());
+      } else if (key == "pulses") {
+        entry.pulses = static_cast<Index>(cur.number());
+      } else if (key == "block") {
+        entry.block = static_cast<Index>(cur.number());
+      } else if (key == "priority") {
+        entry.priority = parse_priority(cur.string());
+      } else if (key == "scene") {
+        entry.scene = static_cast<std::uint64_t>(cur.number());
+      } else if (key == "repeat") {
+        entry.repeat = static_cast<int>(cur.number());
+      } else if (key == "delay_ms") {
+        entry.delay_ms = cur.number();
+      } else if (key == "deadline_ms") {
+        entry.deadline_ms = cur.number();
+      } else if (key == "tenant") {
+        entry.tenant = cur.string();
+      } else {
+        ensure(false, "trace JSON: unknown request key \"" + key + "\"");
+      }
+    } while (cur.consume(','));
+    cur.expect('}');
+  }
+  ensure(entry.image > 0 && entry.pulses > 0 && entry.block > 0 &&
+             entry.repeat > 0,
+         "trace JSON: request fields must be positive");
+  return entry;
+}
+
+/// Simulated collection for one (scene, image, pulses): a cluster scene on
+/// a perturbed circular orbit — small but physically plausible, so ASR bins
+/// land in range and plans differ between scene seeds.
+sim::PhaseHistory synthesize_collection(std::uint64_t scene, Index image,
+                                        Index pulses) {
+  Rng rng(scene * 1000003ULL + 17);
+  const geometry::ImageGrid grid(image, image, 0.5);
+  geometry::OrbitParams orbit;
+  orbit.radius_m = 40000.0;
+  orbit.altitude_m = 8000.0;
+  orbit.angular_rate_rad_s = 0.02;
+  orbit.prf_hz = 500.0;
+  // Distinct scenes look at the arc from different angles, so their pulse
+  // geometries (and plan signatures) genuinely differ.
+  orbit.start_angle_rad = 0.05 * static_cast<double>(scene % 97);
+  geometry::TrajectoryErrorModel errors;
+  errors.perturbation_sigma_m = 0.05;
+  const auto poses = geometry::circular_orbit(orbit, errors, pulses, rng);
+
+  sim::ClusterSceneParams scene_params;
+  scene_params.clusters = 3;
+  scene_params.reflectors_per_cluster = 4;
+  const auto reflectors = sim::make_cluster_scene(grid, scene_params, rng);
+
+  sim::CollectorParams collector;
+  return sim::collect(collector, grid, reflectors, poses, rng);
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(std::llround(
+      q * static_cast<double>(sorted.size() - 1)));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Trace parse_trace_json(const std::string& json) {
+  JsonCursor cur(json);
+  Trace trace;
+  cur.expect('{');
+  bool saw_schema = false;
+  do {
+    const std::string key = cur.string();
+    cur.expect(':');
+    if (key == "schema") {
+      const std::string schema = cur.string();
+      ensure(schema == Trace::kSchemaName,
+             "trace JSON: schema mismatch (got \"" + schema + "\", want \"" +
+                 Trace::kSchemaName + "\")");
+      saw_schema = true;
+    } else if (key == "requests") {
+      cur.expect('[');
+      if (!cur.consume(']')) {
+        do {
+          trace.requests.push_back(parse_entry(cur));
+        } while (cur.consume(','));
+        cur.expect(']');
+      }
+    } else {
+      ensure(false, "trace JSON: unknown top-level key \"" + key + "\"");
+    }
+  } while (cur.consume(','));
+  cur.expect('}');
+  ensure(saw_schema, "trace JSON: missing \"schema\"");
+  return trace;
+}
+
+std::string to_json(const Trace& trace) {
+  std::string out = "{\n  \"schema\": \"";
+  out += Trace::kSchemaName;
+  out += "\",\n  \"requests\": [";
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const auto& e = trace.requests[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"ix\": %lld, \"pulses\": %lld, \"block\": %lld, "
+                  "\"priority\": \"%s\", \"scene\": %llu, \"repeat\": %d, "
+                  "\"delay_ms\": %g, \"deadline_ms\": %g",
+                  i == 0 ? "" : ",", static_cast<long long>(e.image),
+                  static_cast<long long>(e.pulses),
+                  static_cast<long long>(e.block), priority_name(e.priority),
+                  static_cast<unsigned long long>(e.scene), e.repeat,
+                  e.delay_ms, e.deadline_ms);
+    out += buf;
+    if (!e.tenant.empty()) {
+      out += ", \"tenant\": \"" + e.tenant + "\"";
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+Trace make_repeated_scene_trace(int scenes, int repeats, Index image,
+                                Index pulses, Index block) {
+  ensure(scenes > 0 && repeats > 0, "make_repeated_scene_trace: counts must be positive");
+  Trace trace;
+  static constexpr Priority kCycle[] = {Priority::kHigh, Priority::kNormal,
+                                        Priority::kLow};
+  int n = 0;
+  // Round-robin over scenes so hits interleave with misses, the way a
+  // multi-tenant front end interleaves users.
+  for (int r = 0; r < repeats; ++r) {
+    for (int s = 0; s < scenes; ++s) {
+      TraceEntry entry;
+      entry.image = image;
+      entry.pulses = pulses;
+      entry.block = block;
+      entry.scene = static_cast<std::uint64_t>(s + 1);
+      entry.priority = kCycle[n++ % 3];
+      entry.tenant = "tenant-" + std::to_string(s + 1);
+      trace.requests.push_back(entry);
+    }
+  }
+  return trace;
+}
+
+ReplayStats replay_trace(const Trace& trace, ImageFormationService& service) {
+  // One synthesis per distinct collection; requests alias it shared.
+  std::map<std::tuple<std::uint64_t, Index, Index>,
+           std::shared_ptr<const sim::PhaseHistory>>
+      collections;
+  for (const auto& entry : trace.requests) {
+    const auto key = std::make_tuple(entry.scene, entry.image, entry.pulses);
+    if (collections.find(key) == collections.end()) {
+      collections[key] = std::make_shared<const sim::PhaseHistory>(
+          synthesize_collection(entry.scene, entry.image, entry.pulses));
+    }
+  }
+
+  ReplayStats stats;
+  std::vector<std::shared_ptr<JobHandle>> handles;
+  Timer wall;
+  for (const auto& entry : trace.requests) {
+    for (int r = 0; r < entry.repeat; ++r) {
+      if (entry.delay_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(entry.delay_ms));
+      }
+      ImageFormationRequest request;
+      request.grid = geometry::ImageGrid(entry.image, entry.image, 0.5);
+      request.pulses =
+          collections[std::make_tuple(entry.scene, entry.image, entry.pulses)];
+      request.asr_block_w = request.asr_block_h = entry.block;
+      request.priority = entry.priority;
+      request.tenant = entry.tenant;
+      if (entry.deadline_ms > 0.0) {
+        request.deadline = std::chrono::steady_clock::now() +
+                           std::chrono::microseconds(static_cast<long long>(
+                               entry.deadline_ms * 1000.0));
+      }
+      auto outcome = service.submit(std::move(request));
+      if (outcome.admitted()) {
+        ++stats.submitted;
+        handles.push_back(std::move(outcome.handle));
+      } else {
+        ++stats.rejected;
+      }
+    }
+  }
+
+  std::vector<double> latencies;
+  double setup_hit_sum = 0.0;
+  double setup_miss_sum = 0.0;
+  for (const auto& handle : handles) {
+    const JobResult& result = handle->wait();
+    switch (result.state) {
+      case JobState::kDone:
+        ++stats.done;
+        latencies.push_back(result.latency_seconds);
+        if (result.plan_cache_hit) {
+          ++stats.plan_hits;
+          setup_hit_sum += result.setup_seconds;
+        } else {
+          ++stats.plan_misses;
+          setup_miss_sum += result.setup_seconds;
+        }
+        break;
+      case JobState::kFailed: ++stats.failed; break;
+      case JobState::kCancelled: ++stats.cancelled; break;
+      case JobState::kExpired: ++stats.expired; break;
+      default: break;
+    }
+  }
+  stats.wall_seconds = wall.seconds();
+  if (stats.wall_seconds > 0.0) {
+    stats.throughput_jobs_per_s =
+        static_cast<double>(stats.done) / stats.wall_seconds;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.latency_p50_s = percentile(latencies, 0.50);
+  stats.latency_p90_s = percentile(latencies, 0.90);
+  stats.latency_p99_s = percentile(latencies, 0.99);
+  if (stats.plan_hits > 0) {
+    stats.mean_setup_hit_s = setup_hit_sum / static_cast<double>(stats.plan_hits);
+  }
+  if (stats.plan_misses > 0) {
+    stats.mean_setup_miss_s =
+        setup_miss_sum / static_cast<double>(stats.plan_misses);
+  }
+  return stats;
+}
+
+}  // namespace sarbp::service

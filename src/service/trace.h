@@ -1,0 +1,91 @@
+// Request traces for the job service: a small JSON schema describing a
+// stream of image-formation requests, a parser/serializer for it, and a
+// replayer that synthesizes the referenced collections, submits against a
+// live service with the recorded pacing, and reports throughput/latency.
+//
+// Trace schema ("sarbp.trace.v1"):
+//   {
+//     "schema": "sarbp.trace.v1",
+//     "requests": [
+//       { "ix": 96, "pulses": 48, "block": 32, "priority": "high",
+//         "scene": 1, "repeat": 4, "delay_ms": 0.0, "deadline_ms": 0.0,
+//         "tenant": "alpha" },
+//       ...
+//     ]
+//   }
+// `scene` seeds the simulated collection geometry: entries sharing
+// (scene, ix, pulses) reuse the same phase history, which is exactly the
+// repeated-scene case the plan cache exists for. `repeat` expands one
+// entry into that many consecutive submissions. `deadline_ms` <= 0 means
+// no deadline; `delay_ms` is the inter-arrival gap before each submission.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+#include "sim/phase_history.h"
+
+namespace sarbp::service {
+
+struct TraceEntry {
+  Index image = 96;        ///< square grid edge ("ix")
+  Index pulses = 48;
+  Index block = 32;        ///< ASR block edge
+  Priority priority = Priority::kNormal;
+  std::uint64_t scene = 1; ///< collection-geometry seed
+  int repeat = 1;
+  double delay_ms = 0.0;
+  double deadline_ms = 0.0;
+  std::string tenant;
+};
+
+struct Trace {
+  static constexpr const char* kSchemaName = "sarbp.trace.v1";
+  std::vector<TraceEntry> requests;
+};
+
+/// Parses a "sarbp.trace.v1" document. Throws PreconditionError on
+/// malformed input, unknown keys, or a schema mismatch.
+[[nodiscard]] Trace parse_trace_json(const std::string& json);
+
+/// Serializes a trace; round-trips through parse_trace_json.
+[[nodiscard]] std::string to_json(const Trace& trace);
+
+/// Canonical repeated-scene workload: `scenes` distinct collection
+/// geometries, each requested `repeats` times, interleaved round-robin so
+/// cache hits interleave with misses; priorities cycle high/normal/low.
+[[nodiscard]] Trace make_repeated_scene_trace(int scenes, int repeats,
+                                              Index image, Index pulses,
+                                              Index block);
+
+struct ReplayStats {
+  std::size_t submitted = 0;
+  std::size_t rejected = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t expired = 0;
+  double wall_seconds = 0.0;
+  double throughput_jobs_per_s = 0.0;  ///< completed jobs / wall
+  double latency_p50_s = 0.0;
+  double latency_p90_s = 0.0;
+  double latency_p99_s = 0.0;
+  double mean_setup_hit_s = 0.0;   ///< plan-cache hits: mean setup time
+  double mean_setup_miss_s = 0.0;  ///< plan-cache misses: mean setup time
+  std::size_t plan_hits = 0;
+  std::size_t plan_misses = 0;
+};
+
+/// Simulates each distinct (scene, image, pulses) collection once, then
+/// replays the trace against `service` with the recorded pacing and blocks
+/// until every submitted job is terminal. Rejected submissions are counted,
+/// not retried.
+ReplayStats replay_trace(const Trace& trace, ImageFormationService& service);
+
+}  // namespace sarbp::service

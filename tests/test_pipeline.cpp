@@ -560,5 +560,56 @@ TEST(Pipeline, AccumulatorCombinesBatchesAcrossFrames) {
   EXPECT_NEAR(e1 / e0, 4.0, 0.8);  // amplitude 2x -> power 4x
 }
 
+
+TEST(Pipeline, CumulativeStageTimesZeroWithNoFrames) {
+  ScenarioConfig cfg;
+  cfg.image = 64;
+  cfg.pulses = 16;
+  SmallScenario s = make_scenario(cfg);
+
+  obs::Registry reg;
+  PipelineConfig config;
+  config.metrics = &reg;  // private registry: no cross-test accumulation
+  config.backprojection.threads = 1;
+  SurveillancePipeline pipeline(s.grid, config);
+  pipeline.close_input();
+  EXPECT_FALSE(pipeline.pop_result().has_value());
+
+  // No frames ever entered the pipeline, so every stage total is zero.
+  const SectionTimes times = pipeline.cumulative_stage_times();
+  EXPECT_EQ(times.total(), 0.0);
+  for (const char* stage :
+       {"backprojection", "accumulate", "registration", "ccd", "cfar"}) {
+    EXPECT_EQ(times.get(stage), 0.0) << stage;
+  }
+}
+
+TEST(Pipeline, PopResultNulloptImmediatelyAfterCloseOnEmptyStream) {
+  ScenarioConfig cfg;
+  cfg.image = 64;
+  cfg.pulses = 16;
+  SmallScenario s = make_scenario(cfg);
+
+  obs::Registry reg;
+  PipelineConfig config;
+  config.metrics = &reg;
+  config.backprojection.threads = 1;
+  SurveillancePipeline pipeline(s.grid, config);
+  pipeline.close_input();
+
+  // End-of-stream must propagate promptly through both stage threads; a
+  // blocking pop here would be the shutdown deadlock the close protocol
+  // exists to prevent.
+  auto result = std::async(std::launch::async,
+                           [&] { return pipeline.pop_result(); });
+  ASSERT_EQ(result.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_FALSE(result.get().has_value());
+
+  // Still nullopt on every later pop, and pushes are refused.
+  EXPECT_FALSE(pipeline.pop_result().has_value());
+  EXPECT_FALSE(pipeline.push_pulses(sim::PhaseHistory(1, 8, 1.0, 40.0)));
+}
+
 }  // namespace
 }  // namespace sarbp::pipeline

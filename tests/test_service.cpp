@@ -1,0 +1,497 @@
+// Job-service tests: planned-executor parity with the streaming scalar
+// kernel, end-to-end image accuracy through the service, strict-priority
+// scheduling, admission control, cancellation (queued and running),
+// deadline expiry, plan-cache behaviour via the obs counters, drain with
+// jobs in flight, and the request-trace JSON round trip.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "backprojection/kernel.h"
+#include "common/check.h"
+#include "common/snr.h"
+#include "geometry/wavefront.h"
+#include "service/plan_cache.h"
+#include "service/service.h"
+#include "service/trace.h"
+#include "test_helpers.h"
+
+namespace sarbp::service {
+namespace {
+
+using namespace std::chrono_literals;
+using sarbp::testing::ScenarioConfig;
+using sarbp::testing::SmallScenario;
+using sarbp::testing::make_scenario;
+
+/// Tiny scenario shared by the lifecycle tests (the image content is
+/// irrelevant there; only the accuracy tests use a larger one).
+struct TinyFixture {
+  SmallScenario scenario;
+  std::shared_ptr<const sim::PhaseHistory> pulses;
+};
+
+TinyFixture make_tiny(std::uint64_t seed = 7) {
+  ScenarioConfig cfg;
+  cfg.image = 32;
+  cfg.pulses = 12;
+  cfg.seed = seed;
+  SmallScenario s = make_scenario(cfg);
+  auto pulses = std::make_shared<const sim::PhaseHistory>(s.history);
+  return {std::move(s), std::move(pulses)};
+}
+
+ImageFormationRequest tiny_request(
+    const SmallScenario& s, std::shared_ptr<const sim::PhaseHistory> pulses,
+    Priority pri = Priority::kNormal) {
+  ImageFormationRequest req;
+  req.grid = s.grid;
+  req.pulses = std::move(pulses);
+  req.asr_block_w = req.asr_block_h = 16;
+  req.priority = pri;
+  return req;
+}
+
+// --- plan build / execute ------------------------------------------------
+
+TEST(FormationPlan, ExecuteMatchesStreamingScalarKernelExactly) {
+  const auto [s, pulses] = make_tiny();
+  const Region region{0, 0, s.grid.width(), s.grid.height()};
+
+  const auto plan = build_formation_plan(s.grid, region, 16, 16, *pulses);
+  bp::SoaTile planned(region.width, region.height);
+  ASSERT_TRUE(execute_plan(*plan, *pulses, planned, nullptr));
+
+  // Per-pulse scalar calls with the plan's own loop orders accumulate each
+  // pixel's contributions in the same order the planned executor does, so
+  // the two paths must agree bit for bit.
+  bp::SoaTile streamed(region.width, region.height);
+  for (Index p = 0; p < pulses->num_pulses(); ++p) {
+    bp::backproject_asr_scalar(*pulses, s.grid, region, p, p + 1, 16, 16,
+                               plan->pulse_order[static_cast<std::size_t>(p)],
+                               streamed);
+  }
+  for (Index y = 0; y < region.height; ++y) {
+    const float* pr = planned.row_re(y);
+    const float* pi = planned.row_im(y);
+    const float* sr = streamed.row_re(y);
+    const float* si = streamed.row_im(y);
+    for (Index x = 0; x < region.width; ++x) {
+      ASSERT_EQ(pr[x], sr[x]) << "re mismatch at (" << x << "," << y << ")";
+      ASSERT_EQ(pi[x], si[x]) << "im mismatch at (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(FormationPlan, CheckpointFalseAbortsExecution) {
+  const auto [s, pulses] = make_tiny();
+  const Region region{0, 0, s.grid.width(), s.grid.height()};
+  const auto plan = build_formation_plan(s.grid, region, 16, 16, *pulses);
+
+  bp::SoaTile tile(region.width, region.height);
+  int calls = 0;
+  EXPECT_FALSE(execute_plan(*plan, *pulses, tile,
+                            [&] { return ++calls <= 1; }));
+  EXPECT_EQ(calls, 2);  // first block ran, second checkpoint aborted
+}
+
+TEST(FormationPlan, SignatureSeparatesDistinctGeometries) {
+  const auto ha = make_tiny(7).pulses;
+  const auto hb = make_tiny(8).pulses;
+  EXPECT_NE(pulse_geometry_signature(*ha), pulse_geometry_signature(*hb));
+  EXPECT_EQ(pulse_geometry_signature(*ha), pulse_geometry_signature(*ha));
+}
+
+// --- service lifecycle ---------------------------------------------------
+
+TEST(Service, FormsImageMatchingReference) {
+  ScenarioConfig cfg;
+  cfg.image = 64;
+  cfg.pulses = 24;
+  SmallScenario s = make_scenario(cfg);
+  const auto pulses = std::make_shared<const sim::PhaseHistory>(s.history);
+
+  Grid2D<CDouble> reference(cfg.image, cfg.image);
+  const Region all{0, 0, cfg.image, cfg.image};
+  bp::backproject_ref(*pulses, s.grid, all, 0, pulses->num_pulses(),
+                      reference);
+
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  ImageFormationRequest req;
+  req.grid = s.grid;
+  req.pulses = pulses;
+  req.asr_block_w = req.asr_block_h = 32;
+  auto outcome = service.submit(std::move(req));
+  ASSERT_TRUE(outcome.admitted());
+  const JobResult& result = outcome.handle->wait();
+  ASSERT_EQ(result.state, JobState::kDone) << result.error;
+  EXPECT_EQ(result.image.width(), cfg.image);
+  EXPECT_EQ(result.image.height(), cfg.image);
+  EXPECT_GT(snr_db(result.image, reference), 45.0);
+}
+
+TEST(Service, StrictPriorityWithFifoWithinClass) {
+  const auto [s, pulses] = make_tiny();
+
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.start_paused = true;  // stage the whole batch before any job runs
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  auto low1 = service.submit(tiny_request(s, pulses, Priority::kLow));
+  auto low2 = service.submit(tiny_request(s, pulses, Priority::kLow));
+  auto normal = service.submit(tiny_request(s, pulses, Priority::kNormal));
+  auto high = service.submit(tiny_request(s, pulses, Priority::kHigh));
+  ASSERT_TRUE(low1.admitted() && low2.admitted() && normal.admitted() &&
+              high.admitted());
+
+  service.resume();
+  service.drain();
+
+  ASSERT_EQ(high.handle->result().state, JobState::kDone);
+  ASSERT_EQ(normal.handle->result().state, JobState::kDone);
+  ASSERT_EQ(low1.handle->result().state, JobState::kDone);
+  ASSERT_EQ(low2.handle->result().state, JobState::kDone);
+
+  // Completion order: high before normal before both lows; FIFO among lows.
+  EXPECT_LT(high.handle->result().completion_index,
+            normal.handle->result().completion_index);
+  EXPECT_LT(normal.handle->result().completion_index,
+            low1.handle->result().completion_index);
+  EXPECT_LT(low1.handle->result().completion_index,
+            low2.handle->result().completion_index);
+}
+
+TEST(Service, AdmissionRejectsWhenPendingSetFull) {
+  const auto [s, pulses] = make_tiny();
+
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.max_pending = 2;
+  sc.start_paused = true;  // nothing dequeues, so the pending set stays full
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  auto a = service.submit(tiny_request(s, pulses));
+  auto b = service.submit(tiny_request(s, pulses));
+  ASSERT_TRUE(a.admitted() && b.admitted());
+
+  auto c = service.submit(tiny_request(s, pulses));
+  EXPECT_FALSE(c.admitted());
+  EXPECT_EQ(c.reject, RejectReason::kQueueFull);
+  if (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("service.rejected.queue_full").value(), 1u);
+  }
+
+  service.resume();
+  service.drain();
+  EXPECT_EQ(a.handle->result().state, JobState::kDone);
+  EXPECT_EQ(b.handle->result().state, JobState::kDone);
+}
+
+TEST(Service, InvalidRequestsRejectedWithReason) {
+  const auto [s, pulses] = make_tiny();
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  ImageFormationRequest no_pulses = tiny_request(s, pulses);
+  no_pulses.pulses = nullptr;
+  EXPECT_EQ(service.submit(std::move(no_pulses)).reject,
+            RejectReason::kInvalidRequest);
+
+  ImageFormationRequest bad_region = tiny_request(s, pulses);
+  bad_region.region = Region{-4, 0, 8, 8};
+  EXPECT_EQ(service.submit(std::move(bad_region)).reject,
+            RejectReason::kInvalidRequest);
+
+  ImageFormationRequest oversize = tiny_request(s, pulses);
+  oversize.region = Region{0, 0, s.grid.width() + 1, 4};
+  EXPECT_EQ(service.submit(std::move(oversize)).reject,
+            RejectReason::kInvalidRequest);
+  if (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("service.rejected.invalid_request").value(), 3u);
+  }
+}
+
+TEST(Service, CancelQueuedJobResolvesImmediately) {
+  const auto [s, pulses] = make_tiny();
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.start_paused = true;
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  auto outcome = service.submit(tiny_request(s, pulses));
+  ASSERT_TRUE(outcome.admitted());
+  EXPECT_EQ(outcome.handle->state(), JobState::kQueued);
+  EXPECT_TRUE(outcome.handle->cancel());
+  EXPECT_EQ(outcome.handle->state(), JobState::kCancelled);
+  EXPECT_FALSE(outcome.handle->cancel());  // already terminal
+
+  service.resume();
+  service.drain();
+  EXPECT_EQ(outcome.handle->result().state, JobState::kCancelled);
+  if (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("service.jobs.cancelled").value(), 1u);
+  }
+}
+
+TEST(Service, CancelRunningJobStopsAtBlockCheckpoint) {
+  const auto [s, pulses] = make_tiny();
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool at_checkpoint = false;
+  bool release = false;
+
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.metrics = &reg;
+  sc.inter_block_hook = [&] {
+    std::unique_lock lock(m);
+    if (!at_checkpoint) {
+      at_checkpoint = true;
+      cv.notify_all();
+    }
+    cv.wait(lock, [&] { return release; });
+  };
+  ImageFormationService service(sc);
+
+  auto outcome = service.submit(tiny_request(s, pulses));
+  ASSERT_TRUE(outcome.admitted());
+  {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return at_checkpoint; });
+  }
+  EXPECT_EQ(outcome.handle->state(), JobState::kRunning);
+  EXPECT_TRUE(outcome.handle->cancel());
+  {
+    std::lock_guard lock(m);
+    release = true;
+  }
+  cv.notify_all();
+
+  const JobResult& result = outcome.handle->wait();
+  EXPECT_EQ(result.state, JobState::kCancelled);
+  EXPECT_EQ(result.error, "cancelled while running");
+  service.drain();
+}
+
+TEST(Service, DeadlineExpiryWhileQueued) {
+  const auto [s, pulses] = make_tiny();
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.start_paused = true;
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  auto req = tiny_request(s, pulses);
+  req.deadline = std::chrono::steady_clock::now() - 1ms;  // already missed
+  auto outcome = service.submit(std::move(req));
+  ASSERT_TRUE(outcome.admitted());
+
+  service.resume();
+  const JobResult& result = outcome.handle->wait();
+  EXPECT_EQ(result.state, JobState::kExpired);
+  EXPECT_EQ(result.error, "deadline passed while queued");
+  if (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("service.jobs.expired").value(), 1u);
+  }
+}
+
+TEST(Service, DeadlineExpiryWhileRunning) {
+  const auto [s, pulses] = make_tiny();
+
+  const auto deadline = std::chrono::steady_clock::now() + 200ms;
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.metrics = &reg;
+  // Every checkpoint sleeps past the deadline, so the first one taken
+  // after kRunning begins must observe the expiry.
+  sc.inter_block_hook = [deadline] {
+    std::this_thread::sleep_until(deadline + 10ms);
+  };
+  ImageFormationService service(sc);
+
+  auto req = tiny_request(s, pulses);
+  req.deadline = deadline;
+  auto outcome = service.submit(std::move(req));
+  ASSERT_TRUE(outcome.admitted());
+
+  const JobResult& result = outcome.handle->wait();
+  EXPECT_EQ(result.state, JobState::kExpired);
+  EXPECT_EQ(result.error, "deadline passed while running");
+}
+
+TEST(Service, PlanCacheHitOnRepeatedGeometry) {
+  const auto [s, pulses] = make_tiny();
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.plan_cache_capacity = 4;
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  auto first = service.submit(tiny_request(s, pulses));
+  ASSERT_TRUE(first.admitted());
+  ASSERT_EQ(first.handle->wait().state, JobState::kDone);
+  EXPECT_FALSE(first.handle->result().plan_cache_hit);
+
+  auto second = service.submit(tiny_request(s, pulses));
+  ASSERT_TRUE(second.admitted());
+  ASSERT_EQ(second.handle->wait().state, JobState::kDone);
+  EXPECT_TRUE(second.handle->result().plan_cache_hit);
+
+  EXPECT_EQ(service.plan_cache().size(), 1u);
+  if (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("service.plan_cache.hits").value(), 1u);
+    EXPECT_EQ(reg.counter("service.plan_cache.misses").value(), 1u);
+    EXPECT_GT(reg.gauge("service.plan_cache.bytes").value(), 0);
+  }
+
+  // Same collection, different region: a distinct plan key, so a miss.
+  auto sub = tiny_request(s, pulses);
+  sub.region = Region{0, 0, 16, 16};
+  auto third = service.submit(std::move(sub));
+  ASSERT_TRUE(third.admitted());
+  ASSERT_EQ(third.handle->wait().state, JobState::kDone);
+  EXPECT_FALSE(third.handle->result().plan_cache_hit);
+  EXPECT_EQ(third.handle->result().image.width(), 16);
+}
+
+TEST(Service, PlanCacheCapacityZeroDisablesRetention) {
+  const auto [s, pulses] = make_tiny();
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.plan_cache_capacity = 0;
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  for (int i = 0; i < 2; ++i) {
+    auto outcome = service.submit(tiny_request(s, pulses));
+    ASSERT_TRUE(outcome.admitted());
+    ASSERT_EQ(outcome.handle->wait().state, JobState::kDone);
+    EXPECT_FALSE(outcome.handle->result().plan_cache_hit);
+  }
+  EXPECT_EQ(service.plan_cache().size(), 0u);
+  if (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("service.plan_cache.hits").value(), 0u);
+    EXPECT_EQ(reg.counter("service.plan_cache.misses").value(), 2u);
+  }
+}
+
+TEST(Service, DrainWithJobsInFlightRunsBacklogToCompletion) {
+  const auto [s, pulses] = make_tiny();
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 2;
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  std::vector<std::shared_ptr<JobHandle>> handles;
+  for (int i = 0; i < 8; ++i) {
+    auto outcome = service.submit(tiny_request(
+        s, pulses, static_cast<Priority>(i % kNumPriorities)));
+    ASSERT_TRUE(outcome.admitted());
+    handles.push_back(std::move(outcome.handle));
+  }
+  service.drain();  // must run every queued job, then stop — no hang
+
+  for (const auto& handle : handles) {
+    EXPECT_EQ(handle->result().state, JobState::kDone)
+        << handle->result().error;
+  }
+  if (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("service.jobs.done").value(), 8u);
+  }
+}
+
+TEST(Service, SubmitAfterDrainRejectsShuttingDown) {
+  const auto [s, pulses] = make_tiny();
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+  service.drain();
+
+  auto outcome = service.submit(tiny_request(s, pulses));
+  EXPECT_FALSE(outcome.admitted());
+  EXPECT_EQ(outcome.reject, RejectReason::kShuttingDown);
+  if (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("service.rejected.shutting_down").value(), 1u);
+  }
+}
+
+// --- traces --------------------------------------------------------------
+
+TEST(Trace, JsonRoundTrip) {
+  const Trace trace = make_repeated_scene_trace(2, 2, 48, 16, 16);
+  ASSERT_EQ(trace.requests.size(), 4u);
+  const Trace parsed = parse_trace_json(to_json(trace));
+  ASSERT_EQ(parsed.requests.size(), trace.requests.size());
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    EXPECT_EQ(parsed.requests[i].image, trace.requests[i].image);
+    EXPECT_EQ(parsed.requests[i].pulses, trace.requests[i].pulses);
+    EXPECT_EQ(parsed.requests[i].block, trace.requests[i].block);
+    EXPECT_EQ(parsed.requests[i].priority, trace.requests[i].priority);
+    EXPECT_EQ(parsed.requests[i].scene, trace.requests[i].scene);
+    EXPECT_EQ(parsed.requests[i].tenant, trace.requests[i].tenant);
+  }
+}
+
+TEST(Trace, ParseRejectsBadInput) {
+  EXPECT_THROW(parse_trace_json("{}"), PreconditionError);
+  EXPECT_THROW(parse_trace_json("{\"schema\": \"sarbp.trace.v9\"}"),
+               PreconditionError);
+  EXPECT_THROW(
+      parse_trace_json("{\"schema\": \"sarbp.trace.v1\", \"bogus\": 1}"),
+      PreconditionError);
+  EXPECT_THROW(parse_trace_json("{\"schema\": \"sarbp.trace.v1\", "
+                                "\"requests\": [{\"frobnicate\": 3}]}"),
+               PreconditionError);
+  EXPECT_THROW(parse_trace_json("not json at all"), PreconditionError);
+}
+
+TEST(Trace, ReplayRepeatedScenesHitsPlanCache) {
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;  // sequential: every repeat lands after its scene's miss
+  sc.plan_cache_capacity = 4;
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  const Trace trace = make_repeated_scene_trace(2, 2, 48, 12, 16);
+  const ReplayStats stats = replay_trace(trace, service);
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.done, 4u);
+  EXPECT_EQ(stats.plan_misses, 2u);  // one per distinct scene
+  EXPECT_EQ(stats.plan_hits, 2u);   // one per repeat
+  EXPECT_GT(stats.throughput_jobs_per_s, 0.0);
+  EXPECT_GE(stats.latency_p99_s, stats.latency_p50_s);
+}
+
+}  // namespace
+}  // namespace sarbp::service

@@ -13,7 +13,10 @@
 //       data and report CFAR detections per frame.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <initializer_list>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +31,8 @@
 #include "obs/metrics.h"
 #include "pipeline/pipeline.h"
 #include "quality/metrics.h"
+#include "service/service.h"
+#include "service/trace.h"
 #include "sim/collector.h"
 #include "sim/scene.h"
 
@@ -74,6 +79,25 @@ struct Cli {
       if (flag == token) return true;
     }
     return false;
+  }
+
+  /// First "--flag" token not in `allowed`, or nullopt when every flag is
+  /// recognized. Value tokens are skipped (only "--"-prefixed tokens are
+  /// checked), so values that happen to contain dashes stay legal.
+  [[nodiscard]] std::optional<std::string> unknown_flag(
+      std::initializer_list<const char*> allowed) const {
+    for (const auto& token : tokens) {
+      if (token.rfind("--", 0) != 0) continue;
+      bool known = false;
+      for (const char* a : allowed) {
+        if (token == std::string("--") + a) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) return token;
+    }
+    return std::nullopt;
   }
 };
 
@@ -256,15 +280,83 @@ int cmd_pipeline(const Cli& cli) {
   return 0;
 }
 
+int cmd_serve_trace(const Cli& cli) {
+  service::Trace trace;
+  if (const auto path = cli.get("trace")) {
+    std::ifstream in(*path);
+    if (!in) {
+      std::fprintf(stderr, "serve-trace: cannot read %s\n", path->c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    trace = service::parse_trace_json(buffer.str());
+  } else {
+    trace = service::make_repeated_scene_trace(
+        static_cast<int>(cli.get_long("scenes", 3)),
+        static_cast<int>(cli.get_long("repeats", 4)), cli.get_long("ix", 96),
+        cli.get_long("pulses", 48), cli.get_long("block", 32));
+  }
+  if (const auto emit = cli.get("emit-trace")) {
+    std::ofstream out(*emit);
+    out << service::to_json(trace);
+    std::printf("wrote trace (%zu requests) to %s\n", trace.requests.size(),
+                emit->c_str());
+  }
+
+  service::ServiceConfig config;
+  config.workers = static_cast<int>(cli.get_long("workers", 2));
+  config.max_pending =
+      static_cast<std::size_t>(cli.get_long("max-pending", 64));
+  if (const auto cache = cli.get("cache")) {
+    if (*cache == "off") {
+      config.plan_cache_capacity = 0;
+    } else if (*cache != "on") {
+      std::fprintf(stderr, "serve-trace: --cache must be on|off\n");
+      return 2;
+    }
+  }
+
+  service::ImageFormationService srv(config);
+  const service::ReplayStats stats = service::replay_trace(trace, srv);
+  srv.drain();
+
+  std::printf("replayed %zu requests on %d workers (plan cache %s)\n",
+              stats.submitted + stats.rejected, config.workers,
+              config.plan_cache_capacity > 0 ? "on" : "off");
+  std::printf("  done %zu  failed %zu  cancelled %zu  expired %zu  "
+              "rejected %zu\n",
+              stats.done, stats.failed, stats.cancelled, stats.expired,
+              stats.rejected);
+  std::printf("  wall %.3f s, throughput %.2f jobs/s\n", stats.wall_seconds,
+              stats.throughput_jobs_per_s);
+  std::printf("  latency p50/p90/p99 = %.3f / %.3f / %.3f s\n",
+              stats.latency_p50_s, stats.latency_p90_s, stats.latency_p99_s);
+  std::printf("  plan cache: %zu hits, %zu misses; setup %.4f s (hit) vs "
+              "%.4f s (miss)\n",
+              stats.plan_hits, stats.plan_misses, stats.mean_setup_hit_s,
+              stats.mean_setup_miss_s);
+  return stats.failed == 0 ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: sarbp <simulate|info|image|pipeline> [--key value ...]\n"
+               "usage: sarbp <simulate|info|image|pipeline|serve-trace> "
+               "[--key value ...]\n"
                "  simulate --out f.sarbp [--ix 256 --pulses 256 --seed 1 "
                "--clutter 4 --full-waveform --noise 0.0 --perturb 0.05]\n"
                "  info     --in f.sarbp\n"
                "  image    --in f.sarbp --out f.npy [--pgm f.pgm --ix 256 "
                "--block 64 --baseline | --scalar | --ffbp --group 4]\n"
                "  pipeline --frames 3 [--ix 128 --pulses 96 --out-prefix p_]\n"
+               "  serve-trace [--trace f.json | --scenes 3 --repeats 4 "
+               "--ix 96 --pulses 48 --block 32] [--workers 2 --cache on|off "
+               "--max-pending 64 --emit-trace f.json]\n"
+               "      replay a sarbp.trace.v1 request trace (or a synthetic\n"
+               "      repeated-scene workload) through the multi-tenant job\n"
+               "      service and report throughput, latency percentiles,\n"
+               "      and plan-cache effectiveness\n"
+               "unknown subcommands or flags exit with status 2\n"
                "every command accepts --metrics-out=metrics.json to dump the\n"
                "structured observability registry (stage spans, queue gauges,\n"
                "throughput) as schema-versioned JSON\n");
@@ -282,16 +374,39 @@ int main(int argc, char** argv) {
   try {
     int rc = 2;
     bool known = true;
+    std::optional<std::string> bad_flag;
     if (command == "simulate") {
-      rc = cmd_simulate(cli);
+      bad_flag = cli.unknown_flag(
+          {"out", "ix", "pulses", "seed", "pixel", "clutter", "clusters",
+           "full-waveform", "noise", "perturb", "standoff", "altitude", "rate",
+           "prf", "metrics-out"});
+      if (!bad_flag) rc = cmd_simulate(cli);
     } else if (command == "info") {
-      rc = cmd_info(cli);
+      bad_flag = cli.unknown_flag({"in", "metrics-out"});
+      if (!bad_flag) rc = cmd_info(cli);
     } else if (command == "image") {
-      rc = cmd_image(cli);
+      bad_flag = cli.unknown_flag({"in", "out", "pgm", "ix", "pixel", "block",
+                                   "baseline", "scalar", "ffbp", "group",
+                                   "tile", "metrics-out"});
+      if (!bad_flag) rc = cmd_image(cli);
     } else if (command == "pipeline") {
-      rc = cmd_pipeline(cli);
+      bad_flag = cli.unknown_flag({"frames", "ix", "pulses", "out-prefix",
+                                   "seed", "pixel", "standoff", "altitude",
+                                   "rate", "prf", "metrics-out"});
+      if (!bad_flag) rc = cmd_pipeline(cli);
+    } else if (command == "serve-trace") {
+      bad_flag = cli.unknown_flag({"trace", "emit-trace", "scenes", "repeats",
+                                   "ix", "pulses", "block", "workers", "cache",
+                                   "max-pending", "metrics-out"});
+      if (!bad_flag) rc = cmd_serve_trace(cli);
     } else {
       known = false;
+    }
+    if (bad_flag) {
+      std::fprintf(stderr, "sarbp %s: unknown flag %s\n", command.c_str(),
+                   bad_flag->c_str());
+      usage();
+      return 2;
     }
     if (known) {
       if (const auto metrics_out = cli.get("metrics-out")) {
