@@ -7,10 +7,13 @@
 // crossovers) are the reproduction target, not absolute wall-clock.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "backprojection/backprojector.h"
@@ -106,6 +109,153 @@ inline BenchScenario make_bench_scenario(
   auto history = sim::collect(collector, grid, scene, poses, rng);
   return BenchScenario{grid, std::move(poses), std::move(history)};
 }
+
+// ------------------------------------------------------ repetition/json ---
+//
+// Every bench that reports timings accepts:
+//   --warmup=N   discarded runs before measurement (default 0)
+//   --repeat=N   measured runs per configuration (default 1)
+//   --json=PATH  machine-readable results: one `sarbp.bench.v1` record per
+//                file, carrying median + IQR over the repeat samples.
+
+struct RepeatSpec {
+  int warmup = 0;
+  int repeat = 1;
+  std::string json_path;  ///< empty = no JSON output
+};
+
+inline RepeatSpec repeat_spec(const Args& args) {
+  RepeatSpec spec;
+  spec.warmup = static_cast<int>(args.get("warmup", 0));
+  spec.repeat = std::max(1, static_cast<int>(args.get("repeat", 1)));
+  spec.json_path = args.gets("json");
+  return spec;
+}
+
+/// Robust summary of repeat samples. With one sample median == q1 == q3.
+struct SampleStats {
+  double median = 0.0;
+  double q1 = 0.0;
+  double q3 = 0.0;
+
+  [[nodiscard]] double iqr() const { return q3 - q1; }
+};
+
+inline SampleStats summarize(std::vector<double> samples) {
+  SampleStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  // Linear-interpolation quantile (the common "type 7" estimator).
+  const auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  stats.q1 = quantile(0.25);
+  stats.median = quantile(0.5);
+  stats.q3 = quantile(0.75);
+  return stats;
+}
+
+/// Runs `sample` warmup+repeat times (discarding the warmups) and returns
+/// the summary over the measured samples. `sample` returns the metric for
+/// one run (seconds, jobs/s, ...).
+inline SampleStats run_repeated(const RepeatSpec& spec,
+                                const std::function<double()>& sample) {
+  for (int i = 0; i < spec.warmup; ++i) (void)sample();
+  std::vector<double> measured;
+  measured.reserve(static_cast<std::size_t>(spec.repeat));
+  for (int i = 0; i < spec.repeat; ++i) measured.push_back(sample());
+  return summarize(std::move(measured));
+}
+
+/// Accumulates bench results and writes one schema-versioned JSON document:
+///   {"schema": "sarbp.bench.v1", "bench": ..., "host": ...,
+///    "warmup": N, "repeat": N,
+///    "results": [{"name": ..., "params": {...}, "unit": ...,
+///                 "median": ..., "q1": ..., "q3": ..., "iqr": ...}, ...]}
+/// No-op when the spec carries no --json path.
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench_name, RepeatSpec spec)
+      : bench_name_(std::move(bench_name)), spec_(std::move(spec)) {}
+
+  ~JsonReporter() { write(); }
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  void add(const std::string& name,
+           std::vector<std::pair<std::string, std::string>> params,
+           const std::string& unit, const SampleStats& stats) {
+    rows_.push_back(Row{name, std::move(params), unit, stats});
+  }
+
+  /// Writes the document (idempotent; implied by the destructor).
+  void write() {
+    if (spec_.json_path.empty() || written_) return;
+    written_ = true;
+    std::FILE* f = std::fopen(spec_.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json: cannot open %s\n", spec_.json_path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"sarbp.bench.v1\",\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", escape(bench_name_).c_str());
+    std::fprintf(f, "  \"host\": \"%s\",\n", escape(cpu_summary()).c_str());
+    std::fprintf(f, "  \"warmup\": %d,\n  \"repeat\": %d,\n", spec_.warmup,
+                 spec_.repeat);
+    std::fprintf(f, "  \"results\": [");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"params\": {",
+                   i == 0 ? "" : ",", escape(row.name).c_str());
+      for (std::size_t j = 0; j < row.params.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", j == 0 ? "" : ", ",
+                     escape(row.params[j].first).c_str(),
+                     escape(row.params[j].second).c_str());
+      }
+      std::fprintf(f,
+                   "}, \"unit\": \"%s\", \"median\": %.9g, \"q1\": %.9g, "
+                   "\"q3\": %.9g, \"iqr\": %.9g}",
+                   escape(row.unit).c_str(), row.stats.median, row.stats.q1,
+                   row.stats.q3, row.stats.iqr());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("json: wrote %zu result(s) to %s\n", rows_.size(),
+                spec_.json_path.c_str());
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> params;
+    std::string unit;
+    SampleStats stats;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  RepeatSpec spec_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
 
 inline void print_header(const char* title) {
   std::printf("\n================================================================\n");

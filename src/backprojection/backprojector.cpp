@@ -51,49 +51,52 @@ std::vector<OrderRun> order_runs(const sim::PhaseHistory& history,
 
 }  // namespace
 
+void run_cube_part(const sim::PhaseHistory& history,
+                   const geometry::ImageGrid& grid,
+                   const BackprojectOptions& options, const CubePart& part,
+                   SoaTile& tile) {
+  const KernelKind kernel = resolve_kernel(options.kernel);
+  // Cache blocking along the pulse dimension: each chunk sweeps the part's
+  // pixel blocks while its slice of In is hot.
+  for (Index chunk = part.pulse_begin; chunk < part.pulse_end;
+       chunk += options.pulse_chunk) {
+    const Index chunk_end =
+        std::min(chunk + options.pulse_chunk, part.pulse_end);
+    for (const OrderRun& run :
+         order_runs(history, grid, chunk, chunk_end,
+                    options.dynamic_reorder)) {
+      switch (kernel) {
+        case KernelKind::kBaseline:
+          backproject_baseline(history, grid, part.region, run.begin,
+                               run.end, /*all_float=*/false, run.order, tile);
+          break;
+        case KernelKind::kBaselineAllFloat:
+          backproject_baseline(history, grid, part.region, run.begin,
+                               run.end, /*all_float=*/true, run.order, tile);
+          break;
+        case KernelKind::kAsrScalar:
+          backproject_asr_scalar(history, grid, part.region, run.begin,
+                                 run.end, options.asr_block_w,
+                                 options.asr_block_h, run.order, tile);
+          break;
+        case KernelKind::kAsrSimd:
+          backproject_asr_simd(history, grid, part.region, run.begin,
+                               run.end, options.asr_block_w,
+                               options.asr_block_h, run.order, tile);
+          break;
+        case KernelKind::kRefDouble:
+          ensure(false, "run_cube_part: use backproject_ref for the double reference");
+      }
+    }
+  }
+}
+
 Backprojector::Backprojector(const geometry::ImageGrid& grid,
                              BackprojectOptions options)
     : grid_(grid), options_(options) {
   ensure(options_.asr_block_w > 0 && options_.asr_block_h > 0,
          "Backprojector: ASR block must be positive");
   ensure(options_.pulse_chunk > 0, "Backprojector: pulse chunk must be positive");
-}
-
-void Backprojector::run_part(const sim::PhaseHistory& history,
-                             const CubePart& part, SoaTile& tile) const {
-  // Cache blocking along the pulse dimension: each chunk sweeps the part's
-  // pixel blocks while its slice of In is hot.
-  for (Index chunk = part.pulse_begin; chunk < part.pulse_end;
-       chunk += options_.pulse_chunk) {
-    const Index chunk_end =
-        std::min(chunk + options_.pulse_chunk, part.pulse_end);
-    for (const OrderRun& run :
-         order_runs(history, grid_, chunk, chunk_end,
-                    options_.dynamic_reorder)) {
-      switch (options_.kernel) {
-        case KernelKind::kBaseline:
-          backproject_baseline(history, grid_, part.region, run.begin,
-                               run.end, /*all_float=*/false, run.order, tile);
-          break;
-        case KernelKind::kBaselineAllFloat:
-          backproject_baseline(history, grid_, part.region, run.begin,
-                               run.end, /*all_float=*/true, run.order, tile);
-          break;
-        case KernelKind::kAsrScalar:
-          backproject_asr_scalar(history, grid_, part.region, run.begin,
-                                 run.end, options_.asr_block_w,
-                                 options_.asr_block_h, run.order, tile);
-          break;
-        case KernelKind::kAsrSimd:
-          backproject_asr_simd(history, grid_, part.region, run.begin,
-                               run.end, options_.asr_block_w,
-                               options_.asr_block_h, run.order, tile);
-          break;
-        case KernelKind::kRefDouble:
-          ensure(false, "Backprojector: use backproject_ref for the double reference");
-      }
-    }
-  }
 }
 
 void Backprojector::add_pulses(const sim::PhaseHistory& history,
@@ -128,7 +131,7 @@ void Backprojector::add_pulses(const sim::PhaseHistory& history,
       const CubePart& part = parts[i];
       obs::ScopedSpan span(part_span);
       tile.reset(part.region.width, part.region.height);
-      run_part(history, part, tile);
+      run_cube_part(history, grid_, options_, part, tile);
 #pragma omp critical(sarbp_bp_reduce)
       tile.accumulate_into(out, part.region);
     }
@@ -156,7 +159,7 @@ void Backprojector::add_pulses_region(const sim::PhaseHistory& history,
   part.pulse_end = pulse_end;
   part.region = region;
   SoaTile tile(region.width, region.height);
-  run_part(history, part, tile);
+  run_cube_part(history, grid_, options_, part, tile);
   tile.accumulate_into(out, region);
 }
 

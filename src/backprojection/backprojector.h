@@ -34,6 +34,16 @@ struct BackprojectOptions {
   Index min_region_edge = 64;
 };
 
+/// Executes one cuboid of the iteration space — pulses
+/// [part.pulse_begin, part.pulse_end) over part.region — into a tile that
+/// must already cover exactly part.region. Single-threaded; this is the
+/// shared task body of the OpenMP driver below and the work-stealing tile
+/// executor (src/exec/), so both produce bit-identical per-part sums.
+void run_cube_part(const sim::PhaseHistory& history,
+                   const geometry::ImageGrid& grid,
+                   const BackprojectOptions& options, const CubePart& part,
+                   SoaTile& tile);
+
 class Backprojector {
  public:
   Backprojector(const geometry::ImageGrid& grid, BackprojectOptions options);
@@ -63,9 +73,6 @@ class Backprojector {
   }
 
  private:
-  void run_part(const sim::PhaseHistory& history, const CubePart& part,
-                SoaTile& tile) const;
-
   geometry::ImageGrid grid_;
   BackprojectOptions options_;
 };

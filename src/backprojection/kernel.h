@@ -72,6 +72,17 @@ bool asr_simd_available();
 /// Lane count of the compiled SIMD kernel (16, 8, or 1 when scalar only).
 int asr_simd_width();
 
+/// Maps a requested kernel to the one that will actually run on this
+/// build: kAsrSimd degrades to kAsrScalar when no vector ISA was compiled
+/// in (kSimdWidth == 1), so drivers never dispatch the degenerate 1-lane
+/// path. Every other kind maps to itself.
+[[nodiscard]] inline KernelKind resolve_kernel(KernelKind requested) {
+  if (requested == KernelKind::kAsrSimd && !asr_simd_available()) {
+    return KernelKind::kAsrScalar;
+  }
+  return requested;
+}
+
 /// ASR kernel, SIMD. Falls back to the scalar kernel when no vector ISA
 /// was compiled in. Requires history.has_soa().
 void backproject_asr_simd(const sim::PhaseHistory& history,

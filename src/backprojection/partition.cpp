@@ -25,8 +25,11 @@ std::vector<std::pair<Index, Index>> factor_pairs(Index n) {
 PartitionChoice choose_partition(const CubeShape& shape, Index workers,
                                  Index min_edge) {
   ensure(workers >= 1, "choose_partition: need at least one worker");
-  ensure(shape.width > 0 && shape.height > 0 && shape.pulses > 0,
-         "choose_partition: empty cube");
+  ensure(shape.width > 0 && shape.height > 0,
+         "choose_partition: empty image");
+  // Zero pulses is a legal degenerate cube (an empty batch): one part
+  // covering the whole image with an empty pulse range tiles it exactly.
+  if (shape.pulses == 0) return {1, 1, 1};
   PartitionChoice best;
   bool found = false;
   double best_aspect = 0.0;

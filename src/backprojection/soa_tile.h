@@ -46,6 +46,10 @@ class SoaTile {
   /// (region.x0, region.y0) — the end-of-loop copy/reduction of §4.3.
   void accumulate_into(Grid2D<CFloat>& out, const Region& region) const;
 
+  /// Elementwise `this += other` over same-shape tiles: one step of the
+  /// executor's deterministic per-job tree reduction over pulse slices.
+  void accumulate_tile(const SoaTile& other);
+
  private:
   Index width_ = 0;
   Index height_ = 0;

@@ -1,0 +1,275 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sarbp::exec {
+
+namespace {
+
+int resolve_workers(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+TileExecutor::TileExecutor(ExecOptions options)
+    : options_(std::move(options)),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : &obs::registry()),
+      num_workers_(resolve_workers(options_.workers)),
+      inbox_(std::max<std::size_t>(std::size_t{64},
+                                   static_cast<std::size_t>(num_workers_) * 4),
+             "exec.inbox", metrics_) {
+  ensure(options_.deque_capacity >= 2, "TileExecutor: deque_capacity too small");
+  if constexpr (obs::kEnabled) {
+    tasks_run_ = &metrics_->counter("exec.tasks.run");
+    tasks_stolen_ = &metrics_->counter("exec.tasks.stolen");
+    tasks_skipped_ = &metrics_->counter("exec.tasks.skipped");
+    groups_submitted_ = &metrics_->counter("exec.groups.submitted");
+    groups_completed_ = &metrics_->counter("exec.groups.completed");
+    groups_aborted_ = &metrics_->counter("exec.groups.aborted");
+    steal_fail_ = &metrics_->counter("exec.steal.fail");
+    group_wall_s_ = &metrics_->histogram("exec.group.wall_s");
+    group_efficiency_ = &metrics_->histogram("exec.group.parallel_efficiency");
+    metrics_->gauge("exec.workers").set(num_workers_);
+  }
+  states_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    auto state = std::make_unique<WorkerState>(options_.deque_capacity);
+    if constexpr (obs::kEnabled) {
+      state->depth_gauge =
+          &metrics_->gauge("exec.deque.depth." + std::to_string(w));
+    }
+    states_.push_back(std::move(state));
+  }
+  threads_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+TileExecutor::~TileExecutor() { drain(); }
+
+bool TileExecutor::submit(GroupPtr group) {
+  ensure(group != nullptr, "TileExecutor::submit: null group");
+  if (draining_.load(std::memory_order_acquire)) return false;
+  return inbox_.push(std::move(group));
+}
+
+void TileExecutor::run(GroupPtr group) {
+  // Keep our own reference across the wait: the last-finishing worker
+  // releases the executor's ownership, and the group (with the condition
+  // variable wait() blocks on) must not die under us.
+  GroupPtr keep = group;
+  ensure(submit(std::move(group)), "TileExecutor::run: executor is draining");
+  keep->wait();
+}
+
+void TileExecutor::drain() {
+  draining_.store(true, std::memory_order_release);
+  inbox_.close();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void TileExecutor::inject(GroupPtr group, int w) {
+  TaskGroup* g = group.get();
+  g->injected_ = std::chrono::steady_clock::now();
+  if (groups_submitted_) groups_submitted_->add();
+  {
+    std::lock_guard lock(live_mutex_);
+    live_.emplace(g, std::move(group));
+  }
+  WorkerState& state = *states_[static_cast<std::size_t>(w)];
+  for (TaskUnit& unit : g->units()) {
+    if (!state.deque.push(&unit)) {
+      // Deque full: degrade gracefully by running the overflow task here.
+      run_unit(&unit, w, /*stolen=*/false);
+    }
+  }
+  if (state.depth_gauge) {
+    state.depth_gauge->set(
+        static_cast<std::int64_t>(state.deque.size_approx()));
+  }
+}
+
+void TileExecutor::run_unit(TaskUnit* unit, int w, bool stolen) {
+  TaskGroup* g = unit->group;
+  if (stolen) {
+    g->stolen_.fetch_add(1, std::memory_order_relaxed);
+    if (tasks_stolen_) tasks_stolen_->add();
+  }
+  bool ran = false;
+  if (!g->aborted()) {
+    // Per-task cancellation checkpoint: polled across the pool, so a
+    // cancel/deadline lands within one task's latency no matter how many
+    // workers the job is spread over.
+    if (g->checkpoint_ && !g->checkpoint_()) {
+      g->abort();
+    } else if (!g->aborted()) {
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        g->tasks_[unit->index](w, *g);
+        ran = true;
+      } catch (const std::exception& e) {
+        g->fail(e.what());
+      } catch (...) {
+        g->fail("task threw a non-standard exception");
+      }
+      g->busy_ns_.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()),
+          std::memory_order_relaxed);
+    }
+  }
+  if (ran) {
+    if (tasks_run_) tasks_run_->add();
+  } else if (tasks_skipped_) {
+    tasks_skipped_->add();
+  }
+
+  // Skipped tasks still count toward completion so on_complete runs exactly
+  // once, after every unit has been claimed and retired.
+  if (g->remaining_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+
+  // Last task: run the continuation on this worker.
+  GroupPtr self;
+  {
+    std::lock_guard lock(live_mutex_);
+    auto it = live_.find(g);
+    if (it != live_.end()) {
+      self = std::move(it->second);
+      live_.erase(it);
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g->injected_)
+          .count();
+  {
+    std::lock_guard lock(g->mutex_);
+    g->wall_seconds_ = wall;
+  }
+  if (g->on_complete_) {
+    try {
+      g->on_complete_(*g);
+    } catch (const std::exception& e) {
+      g->fail(std::string("on_complete: ") + e.what());
+    } catch (...) {
+      g->fail("on_complete threw a non-standard exception");
+    }
+  }
+  if (g->aborted()) {
+    if (groups_aborted_) groups_aborted_->add();
+  } else if (groups_completed_) {
+    groups_completed_->add();
+  }
+  if (group_wall_s_) group_wall_s_->record(wall);
+  if (group_efficiency_ && wall > 0.0) {
+    group_efficiency_->record(g->busy_seconds() /
+                              (wall * static_cast<double>(num_workers_)));
+  }
+  {
+    // Notify while holding the lock: a waiter may destroy the group the
+    // moment it observes done_, so the condition variable must not be
+    // touched after the unlock.
+    std::lock_guard lock(g->mutex_);
+    g->done_ = true;
+    g->cv_.notify_all();
+  }
+  // `self` releases the executor's ownership here; waiters hold their own
+  // GroupPtr, and the service continuation has already published results.
+}
+
+bool TileExecutor::try_steal_and_run(int w) {
+  // Rotate the starting victim by thief id so thieves spread out instead of
+  // all hammering worker 0.
+  for (int i = 1; i < num_workers_; ++i) {
+    const int victim = (w + i) % num_workers_;
+    WorkerState& vs = *states_[static_cast<std::size_t>(victim)];
+    if (TaskUnit* unit = vs.deque.steal()) {
+      if (vs.depth_gauge) {
+        vs.depth_gauge->set(
+            static_cast<std::int64_t>(vs.deque.size_approx()));
+      }
+      run_unit(unit, w, /*stolen=*/true);
+      return true;
+    }
+  }
+  if (steal_fail_) steal_fail_->add();
+  return false;
+}
+
+bool TileExecutor::all_deques_empty() const {
+  for (const auto& state : states_) {
+    if (state->deque.size_approx() != 0) return false;
+  }
+  return true;
+}
+
+void TileExecutor::worker_loop(int w) {
+  using namespace std::chrono_literals;
+  WorkerState& state = *states_[static_cast<std::size_t>(w)];
+  while (true) {
+    // 1. Drain our own deque (LIFO — stay cache-hot on the job we claimed).
+    while (TaskUnit* unit = state.deque.pop()) {
+      run_unit(unit, w, /*stolen=*/false);
+    }
+    if (state.depth_gauge) state.depth_gauge->set(0);
+
+    // 2. Claim new work before stealing: job-level concurrency first, so a
+    // burst of small jobs spreads one-per-worker exactly as in the
+    // pre-executor service. Claiming only with an empty deque preserves
+    // admission order at injection.
+    if (auto group = inbox_.try_pop()) {
+      inject(std::move(*group), w);
+      continue;
+    }
+    if (options_.source && !source_done_.load(std::memory_order_acquire)) {
+      bool end = false;
+      GroupPtr group = options_.source(w, 0us, &end);
+      if (end) source_done_.store(true, std::memory_order_release);
+      if (group) {
+        inject(std::move(group), w);
+        continue;
+      }
+    }
+
+    // 3. No new job ready: steal a task from a running job.
+    if (options_.steal && try_steal_and_run(w)) continue;
+
+    // 4. Nothing anywhere. Exit when no more work can appear. The check is
+    // approximate (a peer mid-claim has an empty deque until it injects),
+    // but that is benign: the claimer itself runs every task it injects.
+    const bool no_more_sources =
+        (!options_.source || source_done_.load(std::memory_order_acquire)) &&
+        inbox_.closed();
+    if (no_more_sources && inbox_.size() == 0 && all_deques_empty()) break;
+
+    // 5. Blocking waits: give the source a real budget, else nap briefly so
+    // steal retries and the exit check stay responsive without spinning.
+    if (options_.source && !source_done_.load(std::memory_order_acquire)) {
+      bool end = false;
+      GroupPtr group = options_.source(w, 1000us, &end);
+      if (end) source_done_.store(true, std::memory_order_release);
+      if (group) inject(std::move(group), w);
+    } else if (auto group = inbox_.try_pop_for(1ms)) {
+      inject(std::move(*group), w);
+    } else {
+      std::this_thread::sleep_for(200us);
+    }
+  }
+}
+
+}  // namespace sarbp::exec

@@ -1,0 +1,140 @@
+// Work-stealing tile executor: one pool of workers shared by every running
+// image-formation job (paper §4 applied to the serving layer — decompose
+// each job over the (pulse x y x x) cube and spread the pieces across all
+// cores, instead of one job per core).
+//
+// Scheduling structure: every worker owns a Chase-Lev–style deque
+// (steal_deque.h). New jobs arrive as TaskGroups, either pushed by an
+// external thread through submit() (FIFO inbox) or pulled by an idle
+// worker from the configured `source` callback (the service's
+// priority/FIFO claim path). The claiming worker injects the whole group
+// into its *own* deque and starts executing; workers whose deques drain
+// steal tasks from running jobs. So:
+//   - admission order is preserved at *injection* (a worker claims a new
+//     job only when its own deque is empty, and prefers claiming over
+//     stealing — job-level concurrency first, exactly PR 2's behaviour on
+//     many-small-job mixes);
+//   - one large job saturates every core (its tasks are the only stealable
+//     work, so every otherwise-idle worker converges on it).
+//
+// Completion is continuation-style: the worker that finishes a group's
+// last task runs its on_complete (reduction + result publication), so the
+// claimer never blocks on the job it injected.
+//
+// Instrumentation (per configured registry):
+//   counters   exec.tasks.run, exec.tasks.stolen, exec.tasks.skipped,
+//              exec.groups.{submitted,completed,aborted}, exec.steal.fail
+//   gauges     exec.workers, exec.deque.depth.<w>
+//   histograms exec.group.wall_s, exec.group.parallel_efficiency
+//              (busy-seconds / (wall * workers) per group — 1.0 means the
+//              whole pool was kept hot for the job's entire wall time)
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/queue.h"
+#include "exec/steal_deque.h"
+#include "exec/task_group.h"
+#include "obs/metrics.h"
+
+namespace sarbp::exec {
+
+struct ExecOptions {
+  /// Pool width; 0 = std::thread::hardware_concurrency().
+  int workers = 0;
+  /// When false, tasks run only on the worker that injected their group —
+  /// the serial-run_job baseline the exec_scaling bench compares against.
+  bool steal = true;
+  /// Per-worker deque capacity (rounded up to a power of two). A full
+  /// deque degrades gracefully: injection runs the overflow task inline.
+  std::size_t deque_capacity = 1024;
+  /// Metrics sink; null selects the process-global obs::registry(). Must
+  /// outlive the executor.
+  obs::Registry* metrics = nullptr;
+  /// Pull-model job source for pool owners (the job service). Called by an
+  /// idle worker; may block up to ~`budget` waiting for work. Returns the
+  /// next group to inject (null when none is ready) and sets *end once no
+  /// more groups will ever arrive (admission closed and backlog drained) —
+  /// after which workers finish the remaining tasks and exit. A null
+  /// return with *end unset just means "poll again". The callback runs
+  /// concurrently on several workers and must be thread-safe.
+  std::function<GroupPtr(int worker, std::chrono::microseconds budget,
+                         bool* end)>
+      source;
+};
+
+class TileExecutor {
+ public:
+  explicit TileExecutor(ExecOptions options);
+  ~TileExecutor();
+
+  TileExecutor(const TileExecutor&) = delete;
+  TileExecutor& operator=(const TileExecutor&) = delete;
+
+  [[nodiscard]] int workers() const { return num_workers_; }
+  [[nodiscard]] const ExecOptions& options() const { return options_; }
+
+  /// Push-model injection from any non-worker thread (standalone use:
+  /// benches, tests). Groups are handed to workers in submission order.
+  /// Returns false once drain() has begun.
+  bool submit(GroupPtr group);
+
+  /// submit() + group->wait().
+  void run(GroupPtr group);
+
+  /// Stops accepting submissions, runs every pending task to completion
+  /// (including everything the source still hands out until it reports
+  /// end-of-stream), and joins the workers. Idempotent; implied by the
+  /// destructor. Owners with a `source` must close it (make it report
+  /// *end) before calling drain, or drain never returns.
+  void drain();
+
+ private:
+  struct WorkerState {
+    explicit WorkerState(std::size_t deque_capacity) : deque(deque_capacity) {}
+    StealDeque deque;
+    obs::Gauge* depth_gauge = nullptr;
+  };
+
+  void worker_loop(int w);
+  void inject(GroupPtr group, int w);
+  void run_unit(TaskUnit* unit, int w, bool stolen);
+  bool try_steal_and_run(int w);
+  [[nodiscard]] bool all_deques_empty() const;
+
+  ExecOptions options_;
+  obs::Registry* metrics_;
+  int num_workers_;
+
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  /// Push-model injections, FIFO. Closed by drain().
+  BoundedQueue<GroupPtr> inbox_;
+  std::atomic<bool> draining_{false};
+  /// Latched once the source reports end-of-stream.
+  std::atomic<bool> source_done_{false};
+
+  /// Keeps injected groups alive until their last task finishes (deques
+  /// hold raw TaskUnit pointers into the group).
+  std::mutex live_mutex_;
+  std::unordered_map<TaskGroup*, GroupPtr> live_;
+
+  std::vector<std::thread> threads_;
+
+  obs::Counter* tasks_run_ = nullptr;
+  obs::Counter* tasks_stolen_ = nullptr;
+  obs::Counter* tasks_skipped_ = nullptr;
+  obs::Counter* groups_submitted_ = nullptr;
+  obs::Counter* groups_completed_ = nullptr;
+  obs::Counter* groups_aborted_ = nullptr;
+  obs::Counter* steal_fail_ = nullptr;
+  obs::Histogram* group_wall_s_ = nullptr;
+  obs::Histogram* group_efficiency_ = nullptr;
+};
+
+}  // namespace sarbp::exec

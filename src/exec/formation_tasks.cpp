@@ -1,0 +1,64 @@
+#include "exec/formation_tasks.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "backprojection/partition.h"
+#include "backprojection/soa_tile.h"
+#include "common/check.h"
+
+namespace sarbp::exec {
+
+GroupPtr make_backprojection_group(const sim::PhaseHistory& history,
+                                   const geometry::ImageGrid& grid,
+                                   const bp::BackprojectOptions& options,
+                                   int parallelism, Grid2D<CFloat>& out,
+                                   std::function<bool()> checkpoint) {
+  ensure(parallelism >= 1, "make_backprojection_group: parallelism >= 1");
+  ensure(out.width() == grid.width() && out.height() == grid.height(),
+         "make_backprojection_group: image shape mismatch");
+
+  const bp::CubeShape shape{history.num_pulses(), grid.width(), grid.height()};
+  const bp::PartitionChoice choice =
+      bp::choose_partition(shape, parallelism, options.min_region_edge);
+  auto parts = std::make_shared<std::vector<bp::CubePart>>(
+      bp::partition_cube(shape, choice));
+  // One private tile per part (§4.3); index pp*XY + r, pulse-slice major.
+  auto tiles = std::make_shared<std::vector<bp::SoaTile>>(parts->size());
+
+  std::vector<TaskGroup::Task> tasks;
+  tasks.reserve(parts->size());
+  for (std::size_t i = 0; i < parts->size(); ++i) {
+    tasks.push_back([&history, &grid, &options, parts, tiles, i](int,
+                                                                 TaskGroup&) {
+      const bp::CubePart& part = (*parts)[i];
+      bp::SoaTile& tile = (*tiles)[i];
+      tile.reset(part.region.width, part.region.height);
+      bp::run_cube_part(history, grid, options, part, tile);
+    });
+  }
+
+  const std::size_t slices = static_cast<std::size_t>(choice.parts_pulse);
+  const std::size_t regions =
+      static_cast<std::size_t>(choice.parts_x * choice.parts_y);
+  auto on_complete = [parts, tiles, slices, regions, &out](TaskGroup& group) {
+    if (group.aborted()) return;
+    // Deterministic stride-doubling tree over the pulse slices of each
+    // region, then one accumulate into the shared image per region.
+    for (std::size_t r = 0; r < regions; ++r) {
+      for (std::size_t stride = 1; stride < slices; stride *= 2) {
+        for (std::size_t s = 0; s + stride < slices; s += 2 * stride) {
+          (*tiles)[s * regions + r].accumulate_tile(
+              (*tiles)[(s + stride) * regions + r]);
+        }
+      }
+      (*tiles)[r].accumulate_into(out, (*parts)[r].region);
+    }
+  };
+
+  return std::make_shared<TaskGroup>(std::move(tasks), std::move(checkpoint),
+                                     std::move(on_complete), "backprojection");
+}
+
+}  // namespace sarbp::exec

@@ -1,0 +1,42 @@
+// Decomposes one backprojection batch into a TaskGroup for the tile
+// executor: the (pulse x y x x) cube is cut by the §4.2 partitioner into
+// (region-tile x pulse-chunk) parts, each task runs one part through the
+// streaming kernel into a private SoaTile, and the group's completion
+// continuation reduces the tiles and accumulates them into the output
+// image.
+//
+// Determinism: the reduction combines the pulse slices of each region in a
+// fixed stride-doubling tree over slice index, so the result is
+// bit-identical regardless of which workers ran which tasks (steal on or
+// off). With parts_pulse <= 2 it is also bit-identical to
+// Backprojector::add_pulses, whose unordered critical-section reduction is
+// order-free at <= 2 addends per pixel (float + is commutative).
+//
+// This is the push-model path (benches, tests, embedding without the job
+// service); the service's cached-plan jobs build their groups in
+// service/plan_cache.h instead.
+#pragma once
+
+#include <functional>
+
+#include "backprojection/backprojector.h"
+#include "common/grid2d.h"
+#include "common/types.h"
+#include "exec/task_group.h"
+#include "geometry/grid.h"
+#include "sim/phase_history.h"
+
+namespace sarbp::exec {
+
+/// Builds a group that accumulates every pulse of `history` into `out`
+/// (+=; callers zero for a fresh image), decomposed for `parallelism`
+/// concurrent workers. `history`, `grid`, `options`, and `out` must
+/// outlive the group. `checkpoint` (nullable) is polled before each task;
+/// false aborts the job and leaves `out` untouched.
+GroupPtr make_backprojection_group(const sim::PhaseHistory& history,
+                                   const geometry::ImageGrid& grid,
+                                   const bp::BackprojectOptions& options,
+                                   int parallelism, Grid2D<CFloat>& out,
+                                   std::function<bool()> checkpoint = nullptr);
+
+}  // namespace sarbp::exec

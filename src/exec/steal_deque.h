@@ -1,0 +1,122 @@
+// Chase-Lev–style work-stealing deque (single owner, many thieves).
+//
+// The owner pushes and pops at the bottom (LIFO, keeps its own tail of a
+// job's tasks cache-hot); thieves steal at the top (FIFO, so the oldest —
+// typically largest-remaining — task migrates first). This is the
+// fixed-capacity variant: the executor sizes it for the worst-case task
+// fan-out of one job and falls back to inline execution when full, so the
+// growable-array machinery of the original is unnecessary.
+//
+// Memory ordering follows the strong (sequentially consistent) Chase-Lev
+// formulation rather than the fence-based weak-memory one: every access to
+// `top_`/`bottom_` that participates in the owner/thief race is seq_cst,
+// and the cells themselves are atomics. That costs one fenced store per
+// owner pop — noise against millisecond-scale tile tasks — and keeps the
+// algorithm expressible entirely in the C++ memory model, which is what
+// lets TSan verify it (no standalone fences, which TSan cannot model).
+//
+// ABA note: steal() reads its cell *before* the CAS on top_. The cell can
+// be reused by the owner only after bottom_ advances capacity slots past
+// the thief's `t`, which requires top_ > t — and any advance of top_ makes
+// the thief's CAS fail, so a stale read is always discarded.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sarbp::exec {
+
+class TaskGroup;
+
+/// One schedulable unit: task `index` of `group`. Lives in the group's
+/// contiguous unit array so deque cells are a single pointer.
+struct TaskUnit {
+  TaskGroup* group = nullptr;
+  std::uint32_t index = 0;
+};
+
+class StealDeque {
+ public:
+  explicit StealDeque(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<std::atomic<TaskUnit*>>(cap);
+    mask_ = static_cast<std::int64_t>(cap) - 1;
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only. False when full (caller runs the task inline instead).
+  bool push(TaskUnit* unit) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t > mask_) return false;
+    cells_[static_cast<std::size_t>(b & mask_)].store(
+        unit, std::memory_order_relaxed);
+    // seq_cst publish: a thief that observes bottom_ > t also observes the
+    // cell written above.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only. Null when empty (or a thief won the last item).
+  TaskUnit* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // already empty: undo the reservation
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    TaskUnit* unit =
+        cells_[static_cast<std::size_t>(b & mask_)].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last item: race thieves for it through top_.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        unit = nullptr;  // a thief got there first
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return unit;
+  }
+
+  /// Any thread. Null when empty or when another thief/the owner won the
+  /// race (callers just move on to the next victim).
+  TaskUnit* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    TaskUnit* unit =
+        cells_[static_cast<std::size_t>(t & mask_)].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return unit;
+  }
+
+  /// Approximate occupancy (racy; used for idle/exit heuristics and the
+  /// depth gauges, never for correctness).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    return static_cast<std::size_t>(mask_) + 1;
+  }
+
+ private:
+  std::vector<std::atomic<TaskUnit*>> cells_;
+  std::int64_t mask_ = 0;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace sarbp::exec

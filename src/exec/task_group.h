@@ -1,0 +1,137 @@
+// TaskGroup: one job's worth of tile tasks plus the completion machinery.
+//
+// A group is the executor's unit of injection — the tasks of one
+// image-formation job, decomposed over the (pulse x y x x) cube. Tasks are
+// independent closures; the worker that finishes the last one runs the
+// group's `on_complete` continuation (the per-job reduction and result
+// publication), so the worker that *claimed* the job never has to wait on
+// it and can move straight to the next admission token.
+//
+// Cancellation contract: `checkpoint` (when set) is polled before every
+// task, possibly concurrently from several workers — it must be
+// thread-safe. The first `false` flips the group's aborted flag; remaining
+// tasks are skipped (they still count toward completion so on_complete
+// always runs exactly once). A task that throws likewise aborts the group
+// and records the first error message.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "exec/steal_deque.h"
+
+namespace sarbp::exec {
+
+class TaskGroup {
+ public:
+  /// `worker` is the executing pool slot (for per-worker scratch schemes);
+  /// `group` is the owning group, so a task that detects cancellation
+  /// mid-way can abort() the rest of the job.
+  using Task = std::function<void(int worker, TaskGroup& group)>;
+
+  /// `tasks` must be non-empty. `checkpoint`/`on_complete` may be null.
+  TaskGroup(std::vector<Task> tasks, std::function<bool()> checkpoint,
+            std::function<void(TaskGroup&)> on_complete,
+            std::string label = {})
+      : tasks_(std::move(tasks)),
+        checkpoint_(std::move(checkpoint)),
+        on_complete_(std::move(on_complete)),
+        label_(std::move(label)),
+        remaining_(static_cast<std::uint32_t>(tasks_.size())),
+        units_(tasks_.size()) {
+    ensure(!tasks_.empty(), "TaskGroup: needs at least one task");
+    for (std::uint32_t i = 0; i < units_.size(); ++i) {
+      units_[i] = TaskUnit{this, i};
+    }
+  }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] std::vector<TaskUnit>& units() { return units_; }
+
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  void abort() { aborted_.store(true, std::memory_order_release); }
+
+  /// First task-thrown error message; empty for checkpoint aborts.
+  [[nodiscard]] std::string error() const {
+    std::lock_guard lock(mutex_);
+    return error_;
+  }
+
+  [[nodiscard]] bool done() const {
+    std::lock_guard lock(mutex_);
+    return done_;
+  }
+
+  /// Blocks until on_complete has run (executor-side callers; the service
+  /// never waits — its continuation resolves the JobHandle).
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return done_; });
+  }
+
+  template <class Rep, class Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] { return done_; });
+  }
+
+  // --- per-group scheduling stats (filled by the executor) ---------------
+  [[nodiscard]] std::uint64_t tasks_stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double busy_seconds() const {
+    return static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  [[nodiscard]] double wall_seconds() const {
+    std::lock_guard lock(mutex_);
+    return wall_seconds_;
+  }
+
+ private:
+  friend class TileExecutor;
+
+  void fail(const std::string& message) {
+    {
+      std::lock_guard lock(mutex_);
+      if (error_.empty()) error_ = message;
+    }
+    abort();
+  }
+
+  std::vector<Task> tasks_;
+  std::function<bool()> checkpoint_;
+  std::function<void(TaskGroup&)> on_complete_;
+  std::string label_;
+
+  std::atomic<std::uint32_t> remaining_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::chrono::steady_clock::time_point injected_{};
+
+  std::vector<TaskUnit> units_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  double wall_seconds_ = 0.0;
+  std::string error_;
+};
+
+using GroupPtr = std::shared_ptr<TaskGroup>;
+
+}  // namespace sarbp::exec

@@ -1,9 +1,12 @@
 #include "service/plan_cache.h"
 
+#include <algorithm>
 #include <cstring>
 #include <numbers>
+#include <utility>
 
 #include "backprojection/kernel_asr_block.h"
+#include "backprojection/partition.h"
 #include "common/check.h"
 
 namespace sarbp::service {
@@ -163,6 +166,67 @@ bool execute_plan(const FormationPlan& plan, const sim::PhaseHistory& history,
     }
   }
   return true;
+}
+
+exec::GroupPtr make_plan_replay_group(
+    std::shared_ptr<const FormationPlan> plan,
+    std::shared_ptr<const sim::PhaseHistory> history, int parallelism,
+    Index tile_tasks, std::shared_ptr<bp::SoaTile> tile,
+    std::function<bool()> checkpoint,
+    std::function<void(exec::TaskGroup&)> on_complete) {
+  ensure(plan != nullptr && history != nullptr && tile != nullptr,
+         "make_plan_replay_group: null plan/history/tile");
+  ensure(history->num_pulses() == plan->num_pulses(),
+         "make_plan_replay_group: history pulse count does not match the plan");
+  ensure(tile->width() == plan->key.region.width &&
+             tile->height() == plan->key.region.height,
+         "make_plan_replay_group: tile/region shape mismatch");
+  ensure(parallelism >= 1, "make_plan_replay_group: parallelism >= 1");
+
+  const Index nblocks = static_cast<Index>(plan->blocks.size());
+  // ~2 tasks per worker so thieves always find a remainder to take, but
+  // never finer than one block per task.
+  Index fanout = tile_tasks > 0
+                     ? tile_tasks
+                     : std::max<Index>(2, 2 * static_cast<Index>(parallelism));
+  fanout = std::clamp<Index>(fanout, 1, nblocks);
+
+  std::vector<exec::TaskGroup::Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(fanout));
+  for (Index ti = 0; ti < fanout; ++ti) {
+    const Index b0 = bp::split_begin(nblocks, fanout, ti);
+    const Index b1 = bp::split_begin(nblocks, fanout, ti + 1);
+    tasks.push_back([plan, history, tile, checkpoint, b0, b1](
+                        int, exec::TaskGroup& group) {
+      const Index pulses = history->num_pulses();
+      const Index samples = history->samples_per_pulse();
+      for (Index b = b0; b < b1; ++b) {
+        // Same granularity as execute_plan: one cancellation poll per
+        // block sweep, not per task.
+        if (checkpoint && !checkpoint()) {
+          group.abort();
+          return;
+        }
+        const auto& block = plan->blocks[static_cast<std::size_t>(b)];
+        const Index bx = block.x0 - plan->key.region.x0;
+        const Index by = block.y0 - plan->key.region.y0;
+        for (Index p = 0; p < pulses; ++p) {
+          const bool x_inner =
+              plan->pulse_order[static_cast<std::size_t>(p)] ==
+              geometry::LoopOrder::kXInner;
+          const Index len_l = x_inner ? block.width : block.height;
+          const Index len_m = x_inner ? block.height : block.width;
+          bp::asr_sweep_block(plan->tables_for(static_cast<std::size_t>(b), p),
+                              history->pulse(p).data(), samples, x_inner, bx,
+                              by, len_l, len_m, *tile);
+        }
+      }
+    });
+  }
+
+  return std::make_shared<exec::TaskGroup>(
+      std::move(tasks), std::move(checkpoint), std::move(on_complete),
+      "plan_replay");
 }
 
 PlanCache::PlanCache(std::size_t capacity, obs::Registry* metrics)

@@ -30,6 +30,7 @@
 #include "asr/tables.h"
 #include "backprojection/soa_tile.h"
 #include "common/region.h"
+#include "exec/task_group.h"
 #include "common/types.h"
 #include "geometry/grid.h"
 #include "geometry/wavefront.h"
@@ -96,6 +97,28 @@ struct FormationPlan {
 /// the partially-formed tile must be discarded. Returns true on completion.
 bool execute_plan(const FormationPlan& plan, const sim::PhaseHistory& history,
                   bp::SoaTile& tile, const std::function<bool()>& checkpoint);
+
+/// Decomposes one plan replay into a TaskGroup for the tile executor: the
+/// plan's blocks are split into contiguous block-range tasks that all
+/// sweep into the shared region-sized `tile`. Blocks cover disjoint pixel
+/// rectangles, so concurrent tasks never write the same element and the
+/// result is byte-identical to a serial execute_plan() no matter how tasks
+/// are scheduled or stolen — the accumulation order per pixel is always
+/// the plan's pulse order within that pixel's block.
+///
+/// `checkpoint` keeps execute_plan's granularity: it is polled before
+/// every block sweep (inside tasks) and again before each task starts
+/// (by the executor); the first false aborts the whole group.
+/// `tile_tasks` caps the fan-out; 0 = auto (~2 tasks per unit of
+/// `parallelism`, never more than the block count). `on_complete` runs on
+/// the worker that retires the last task — aborted groups must discard the
+/// partially-swept tile there.
+[[nodiscard]] exec::GroupPtr make_plan_replay_group(
+    std::shared_ptr<const FormationPlan> plan,
+    std::shared_ptr<const sim::PhaseHistory> history, int parallelism,
+    Index tile_tasks, std::shared_ptr<bp::SoaTile> tile,
+    std::function<bool()> checkpoint,
+    std::function<void(exec::TaskGroup&)> on_complete);
 
 /// Thread-safe LRU cache of formation plans.
 ///

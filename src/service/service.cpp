@@ -38,10 +38,15 @@ ImageFormationService::ImageFormationService(ServiceConfig config)
     setup_s_ = &metrics_->histogram("service.job.setup_s");
     compute_s_ = &metrics_->histogram("service.job.compute_s");
   }
-  workers_.reserve(static_cast<std::size_t>(config_.workers));
-  for (int w = 0; w < config_.workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+  exec::ExecOptions exec_options;
+  exec_options.workers = config_.workers;
+  exec_options.steal = config_.steal;
+  exec_options.metrics = metrics_;
+  exec_options.source = [this](int worker, std::chrono::microseconds budget,
+                               bool* end) {
+    return next_group(worker, budget, end);
+  };
+  exec_ = std::make_unique<exec::TileExecutor>(std::move(exec_options));
 }
 
 ImageFormationService::~ImageFormationService() { drain(); }
@@ -127,9 +132,7 @@ void ImageFormationService::drain() {
   draining_.store(true, std::memory_order_release);
   resume();  // paused workers must run to drain the backlog
   tokens_.close();
-  for (auto& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
+  if (exec_) exec_->drain();
   for (auto& queue : ready_) queue->close();
 }
 
@@ -138,21 +141,26 @@ void ImageFormationService::wait_gate() {
   gate_cv_.wait(lock, [&] { return gate_open_; });
 }
 
-void ImageFormationService::worker_loop() {
+exec::GroupPtr ImageFormationService::next_group(
+    int /*worker*/, std::chrono::microseconds budget, bool* end) {
   wait_gate();
   // One token == one admitted job somewhere in the ready queues. After
-  // close(), pop() hands out the remaining backlog before signalling
+  // close(), the pops hand out the remaining backlog before signalling
   // end-of-stream — the drain guarantee.
-  while (tokens_.pop().has_value()) {
-    JobPtr job = take_highest_priority();
-    if (job == nullptr) continue;  // defensive; the invariant says never
-    pending_.fetch_sub(1, std::memory_order_acq_rel);
-    if (pending_gauge_) {
-      pending_gauge_->set(static_cast<std::int64_t>(
-          pending_.load(std::memory_order_relaxed)));
-    }
-    run_job(job);
+  auto token = budget.count() > 0 ? tokens_.try_pop_for(budget)
+                                  : tokens_.try_pop();
+  if (!token.has_value()) {
+    if (tokens_.closed() && tokens_.size() == 0) *end = true;
+    return nullptr;
   }
+  JobPtr job = take_highest_priority();
+  if (job == nullptr) return nullptr;  // defensive; the invariant says never
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  if (pending_gauge_) {
+    pending_gauge_->set(static_cast<std::int64_t>(
+        pending_.load(std::memory_order_relaxed)));
+  }
+  return build_job_group(job);
 }
 
 ImageFormationService::JobPtr ImageFormationService::take_highest_priority() {
@@ -171,14 +179,35 @@ ImageFormationService::JobPtr ImageFormationService::take_highest_priority() {
   }
 }
 
-void ImageFormationService::run_job(const JobPtr& job) {
+namespace {
+
+/// Shared outcome of one running job, written by whichever worker's
+/// checkpoint trips first and read by the completion continuation.
+struct RunCtx {
+  std::mutex mutex;
+  JobState outcome = JobState::kDone;
+  std::string error;
+  std::chrono::steady_clock::time_point compute_start;
+
+  void set_failure(JobState state, const char* message) {
+    std::lock_guard lock(mutex);
+    if (outcome == JobState::kDone) {
+      outcome = state;
+      error = message;
+    }
+  }
+};
+
+}  // namespace
+
+exec::GroupPtr ImageFormationService::build_job_group(const JobPtr& job) {
   const auto now = std::chrono::steady_clock::now();
   const double queued_for =
       std::chrono::duration<double>(now - job->submitted_).count();
   if (queue_s_) queue_s_->record(queued_for);
 
   // Cancelled while queued: the handle is already terminal, just drop it.
-  if (is_terminal(job->state())) return;
+  if (is_terminal(job->state())) return nullptr;
 
   const auto& request = job->request_;
   if (request.deadline.has_value() && now > *request.deadline) {
@@ -188,75 +217,101 @@ void ImageFormationService::run_job(const JobPtr& job) {
       job->result_.queue_seconds = queued_for;
       job->finish_locked(JobState::kExpired, lock);
     }
-    return;
+    return nullptr;
   }
-  if (!job->start_running()) return;
-
+  if (!job->start_running()) return nullptr;
   if (busy_gauge_) busy_gauge_->add(1);
-  struct BusyGuard {
-    obs::Gauge* gauge;
-    ~BusyGuard() {
-      if (gauge) gauge->add(-1);
-    }
-  } busy_guard{busy_gauge_};
 
   const Region region = request.effective_region();
-  JobState outcome = JobState::kDone;
-  std::string error;
   bool cache_hit = false;
   double setup_seconds = 0.0;
-  double compute_seconds = 0.0;
-  Grid2D<CFloat> image(0, 0);
+  std::shared_ptr<const FormationPlan> plan;
   try {
     Timer setup_timer;
-    const auto plan =
-        plan_cache_.get_or_build(request.grid, region, request.asr_block_w,
-                                 request.asr_block_h, *request.pulses,
-                                 &cache_hit);
+    plan = plan_cache_.get_or_build(request.grid, region, request.asr_block_w,
+                                    request.asr_block_h, *request.pulses,
+                                    &cache_hit);
     setup_seconds = setup_timer.seconds();
     if (setup_s_) setup_s_->record(setup_seconds);
-
-    // Cooperative checkpoint, polled before every ASR block sweep: the
-    // cancellation and deadline granularity is one block, never a whole
-    // image.
-    const auto checkpoint = [&]() -> bool {
-      if (config_.inter_block_hook) config_.inter_block_hook();
-      if (job->cancel_requested()) {
-        outcome = JobState::kCancelled;
-        error = "cancelled while running";
-        return false;
-      }
-      if (request.deadline.has_value() &&
-          std::chrono::steady_clock::now() > *request.deadline) {
-        outcome = JobState::kExpired;
-        error = "deadline passed while running";
-        return false;
-      }
-      return true;
-    };
-
-    Timer compute_timer;
-    bp::SoaTile tile(region.width, region.height);
-    if (execute_plan(*plan, *request.pulses, tile, checkpoint)) {
-      image = Grid2D<CFloat>(region.width, region.height);
-      tile.accumulate_into(image, Region{0, 0, region.width, region.height});
-    }
-    compute_seconds = compute_timer.seconds();
-    if (compute_s_) compute_s_->record(compute_seconds);
   } catch (const std::exception& e) {
-    outcome = JobState::kFailed;
-    error = e.what();
+    if (busy_gauge_) busy_gauge_->add(-1);
+    std::unique_lock lock(job->mutex_);
+    if (!is_terminal(job->state())) {
+      job->result_.queue_seconds = queued_for;
+      job->result_.setup_seconds = setup_seconds;
+      job->result_.error = e.what();
+      job->finish_locked(JobState::kFailed, lock);
+    }
+    return nullptr;
   }
 
-  std::unique_lock lock(job->mutex_);
-  if (is_terminal(job->state())) return;  // lost a race to cancel()
-  job->result_.queue_seconds = queued_for;
-  job->result_.setup_seconds = setup_seconds;
-  job->result_.compute_seconds = compute_seconds;
-  job->result_.plan_cache_hit = cache_hit;
-  job->result_.error = std::move(error);
-  if (outcome == JobState::kDone) job->result_.image = std::move(image);
-  job->finish_locked(outcome, lock);
+  auto ctx = std::make_shared<RunCtx>();
+  ctx->compute_start = std::chrono::steady_clock::now();
+
+  // Cooperative checkpoint, polled before every ASR block sweep — now
+  // possibly from several workers at once, so the outcome write is
+  // serialized through the RunCtx (first trip wins).
+  auto checkpoint = [this, ctx, job]() -> bool {
+    if (config_.inter_block_hook) config_.inter_block_hook();
+    if (job->cancel_requested()) {
+      ctx->set_failure(JobState::kCancelled, "cancelled while running");
+      return false;
+    }
+    const auto& deadline = job->request_.deadline;
+    if (deadline.has_value() &&
+        std::chrono::steady_clock::now() > *deadline) {
+      ctx->set_failure(JobState::kExpired, "deadline passed while running");
+      return false;
+    }
+    return true;
+  };
+
+  auto tile = std::make_shared<bp::SoaTile>(region.width, region.height);
+  // Runs on whichever worker retires the job's last task: publish the
+  // image (or the failure) and resolve the handle. The claiming worker has
+  // long since moved on to the next admission token.
+  auto done = [this, ctx, job, tile, region, cache_hit, setup_seconds,
+               queued_for](exec::TaskGroup& group) {
+    const double compute_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      ctx->compute_start)
+            .count();
+    if (compute_s_) compute_s_->record(compute_seconds);
+
+    JobState outcome;
+    std::string error;
+    {
+      std::lock_guard lock(ctx->mutex);
+      outcome = ctx->outcome;
+      error = ctx->error;
+    }
+    if (outcome == JobState::kDone && group.aborted()) {
+      // Aborted without a checkpoint verdict: a task threw.
+      outcome = JobState::kFailed;
+      error = group.error().empty() ? "job aborted" : group.error();
+    }
+    Grid2D<CFloat> image(0, 0);
+    if (outcome == JobState::kDone) {
+      image = Grid2D<CFloat>(region.width, region.height);
+      tile->accumulate_into(image, Region{0, 0, region.width, region.height});
+    }
+    if (busy_gauge_) busy_gauge_->add(-1);
+
+    std::unique_lock lock(job->mutex_);
+    if (is_terminal(job->state())) return;  // lost a race to cancel()
+    job->result_.queue_seconds = queued_for;
+    job->result_.setup_seconds = setup_seconds;
+    job->result_.compute_seconds = compute_seconds;
+    job->result_.plan_cache_hit = cache_hit;
+    job->result_.error = std::move(error);
+    if (outcome == JobState::kDone) job->result_.image = std::move(image);
+    job->finish_locked(outcome, lock);
+  };
+
+  return make_plan_replay_group(std::move(plan), request.pulses,
+                                config_.workers, config_.tile_tasks,
+                                std::move(tile), std::move(checkpoint),
+                                std::move(done));
 }
 
 }  // namespace sarbp::service

@@ -1,15 +1,19 @@
-// Multi-tenant image-formation job service: a fixed worker pool behind a
-// strict-priority, FIFO-within-priority scheduler with admission control,
-// an LRU formation-plan cache, cooperative cancellation/deadline checks
-// between ASR blocks, and a graceful drain built on the BoundedQueue close
-// protocol (DESIGN.md §service).
+// Multi-tenant image-formation job service: a work-stealing tile executor
+// behind a strict-priority, FIFO-within-priority scheduler with admission
+// control, an LRU formation-plan cache, cooperative cancellation/deadline
+// checks between ASR blocks, and a graceful drain built on the
+// BoundedQueue close protocol (DESIGN.md §service, §executor).
 //
 // Scheduling structure: one BoundedQueue per priority class holds the
-// admitted jobs; a token queue (one token per admitted job) is what the
-// workers block on. A worker that wins a token is guaranteed at least one
-// job is queued somewhere, and always takes the highest-priority job
+// admitted jobs; a token queue (one token per admitted job) is what idle
+// executor workers poll. A worker that wins a token is guaranteed at least
+// one job is queued somewhere, and always takes the highest-priority job
 // available at that instant — so a high-priority submission never waits
 // behind queued lower-priority work, only behind already-running jobs.
+// The claimed job is decomposed into block-range tasks on the claiming
+// worker's deque; other workers claim further jobs first and steal tasks
+// only when no whole job is ready, so many small jobs still spread
+// one-per-worker while a single big job fans out across the pool.
 //
 // Overload semantics: admission is bounded by `max_pending` jobs across
 // all classes. A submit against a full pending set waits up to
@@ -35,6 +39,7 @@
 #include <vector>
 
 #include "common/queue.h"
+#include "exec/executor.h"
 #include "obs/metrics.h"
 #include "service/job.h"
 #include "service/plan_cache.h"
@@ -67,9 +72,17 @@ struct SubmitOutcome {
 };
 
 struct ServiceConfig {
-  /// Worker threads forming images (each runs one job at a time,
-  /// single-threaded — concurrency comes from jobs, not OpenMP).
+  /// Width of the shared work-stealing tile executor. Jobs are claimed
+  /// one per idle worker (job-level concurrency, as before), but each
+  /// claimed job is decomposed into block-range tasks that otherwise-idle
+  /// workers steal — so one large job can saturate the whole pool.
   int workers = 2;
+  /// Disables stealing when false: each job runs entirely on the worker
+  /// that claimed it (the pre-executor serial behaviour; bench baseline).
+  bool steal = true;
+  /// Task fan-out per job; 0 = auto (~2 tasks per worker, capped at the
+  /// plan's block count).
+  Index tile_tasks = 0;
   /// Admission bound: maximum jobs queued (not yet dequeued by a worker)
   /// across all priority classes.
   std::size_t max_pending = 64;
@@ -127,9 +140,15 @@ class ImageFormationService {
  private:
   using JobPtr = std::shared_ptr<JobHandle>;
 
-  void worker_loop();
+  /// The executor's pull-model source: claims the next admission token,
+  /// takes the highest-priority job, and turns it into a task group.
+  exec::GroupPtr next_group(int worker, std::chrono::microseconds budget,
+                            bool* end);
   [[nodiscard]] JobPtr take_highest_priority();
-  void run_job(const JobPtr& job);
+  /// Runs the claim-side of a job (queue accounting, deadline check,
+  /// RUNNING transition, plan setup) and builds its plan-replay group.
+  /// Null when the job resolved terminally without any compute.
+  exec::GroupPtr build_job_group(const JobPtr& job);
   void wait_gate();
 
   ServiceConfig config_;
@@ -150,8 +169,6 @@ class ImageFormationService {
   std::condition_variable gate_cv_;
   bool gate_open_;
 
-  std::vector<std::thread> workers_;
-
   obs::Counter* submitted_ = nullptr;
   obs::Counter* rejected_full_ = nullptr;
   obs::Counter* rejected_shutdown_ = nullptr;
@@ -161,6 +178,10 @@ class ImageFormationService {
   obs::Histogram* queue_s_ = nullptr;
   obs::Histogram* setup_s_ = nullptr;
   obs::Histogram* compute_s_ = nullptr;
+
+  /// Constructed last: its workers call next_group(), which touches every
+  /// member above. Destroyed first (drain) for the same reason.
+  std::unique_ptr<exec::TileExecutor> exec_;
 };
 
 }  // namespace sarbp::service

@@ -409,5 +409,27 @@ TEST(Simd, WidthConsistentWithAvailability) {
   }
 }
 
+TEST(Simd, AvailabilityMatchesCompiledWidth) {
+  // A width-1 build (no vector ISA at compile time) must report the SIMD
+  // kernel as unavailable, so selection falls back instead of running a
+  // degenerate 1-lane "vector" path.
+  EXPECT_EQ(asr_simd_available(), asr_simd_width() > 1);
+}
+
+TEST(Simd, ResolveKernelFallsBackToScalarWhenUnavailable) {
+  const KernelKind resolved = resolve_kernel(KernelKind::kAsrSimd);
+  if (asr_simd_available()) {
+    EXPECT_EQ(resolved, KernelKind::kAsrSimd);
+  } else {
+    EXPECT_EQ(resolved, KernelKind::kAsrScalar);
+  }
+  // Every other kind resolves to itself regardless of ISA support.
+  for (KernelKind kind :
+       {KernelKind::kBaseline, KernelKind::kBaselineAllFloat,
+        KernelKind::kAsrScalar}) {
+    EXPECT_EQ(resolve_kernel(kind), kind) << kernel_name(kind);
+  }
+}
+
 }  // namespace
 }  // namespace sarbp::bp

@@ -52,6 +52,104 @@ TEST(ChoosePartition, HandlesMoreWorkersThanPulses) {
   EXPECT_GE(c.total(), 1);
 }
 
+// Asserts the parts tile the cube exactly: total volume matches and no two
+// parts overlap in (pulse, x, y).
+void expect_exact_tiling(const CubeShape& shape,
+                         const std::vector<CubePart>& parts) {
+  Index volume = 0;
+  for (const auto& part : parts) {
+    EXPECT_GE(part.pulse_begin, 0);
+    EXPECT_LE(part.pulse_end, shape.pulses);
+    EXPECT_GE(part.region.x0, 0);
+    EXPECT_GE(part.region.y0, 0);
+    EXPECT_LE(part.region.x0 + part.region.width, shape.width);
+    EXPECT_LE(part.region.y0 + part.region.height, shape.height);
+    volume += (part.pulse_end - part.pulse_begin) * part.region.pixels();
+  }
+  EXPECT_EQ(volume, shape.pulses * shape.width * shape.height);
+
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (std::size_t j = i + 1; j < parts.size(); ++j) {
+      const auto& a = parts[i];
+      const auto& b = parts[j];
+      const bool pulse_overlap =
+          a.pulse_begin < b.pulse_end && b.pulse_begin < a.pulse_end;
+      const bool x_overlap = a.region.x0 < b.region.x0 + b.region.width &&
+                             b.region.x0 < a.region.x0 + a.region.width;
+      const bool y_overlap = a.region.y0 < b.region.y0 + b.region.height &&
+                             b.region.y0 < a.region.y0 + a.region.height;
+      EXPECT_FALSE(pulse_overlap && x_overlap && y_overlap)
+          << "parts " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+// ----------------------------------------------------------- edge cases ---
+
+TEST(PartitionEdgeCases, RegionSmallerThanMinEdgeStillTilesExactly) {
+  // A 24x24 image with min_edge 64: no image split can keep tiles at the
+  // minimum edge, so the edge constraint is relaxed — the parts must still
+  // tile the cube exactly with every tile non-empty.
+  const CubeShape shape{40, 24, 24};
+  for (Index workers : {1, 2, 4, 8}) {
+    const auto choice = choose_partition(shape, workers, 64);
+    const auto parts = partition_cube(shape, choice);
+    for (const auto& part : parts) {
+      EXPECT_FALSE(part.region.empty()) << workers;
+    }
+    expect_exact_tiling(shape, parts);
+  }
+}
+
+TEST(PartitionEdgeCases, ZeroPulsesYieldsSingleEmptyPart) {
+  const CubeShape shape{0, 128, 128};
+  const auto choice = choose_partition(shape, 8, 32);
+  EXPECT_EQ(choice.parts_x, 1);
+  EXPECT_EQ(choice.parts_y, 1);
+  EXPECT_EQ(choice.parts_pulse, 1);
+  const auto parts = partition_cube(shape, choice);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].pulse_begin, parts[0].pulse_end);
+  expect_exact_tiling(shape, parts);
+}
+
+TEST(PartitionEdgeCases, PulseCountNotDivisibleByChunk) {
+  // Pulse counts that don't divide evenly across the pulse split: spans
+  // must still cover [0, pulses) exactly, off by at most one pulse.
+  for (Index pulses : {7, 13, 97, 101}) {
+    const CubeShape shape{pulses, 32, 32};
+    for (Index workers : {3, 4, 5}) {
+      const auto choice = choose_partition(shape, workers, 64);
+      const auto parts = partition_cube(shape, choice);
+      expect_exact_tiling(shape, parts);
+      Index lo = shape.pulses;
+      Index hi = 0;
+      for (const auto& part : parts) {
+        lo = std::min(lo, part.pulse_end - part.pulse_begin);
+        hi = std::max(hi, part.pulse_end - part.pulse_begin);
+      }
+      EXPECT_LE(hi - lo, 1) << pulses << " pulses, " << workers << " workers";
+    }
+  }
+}
+
+TEST(PartitionEdgeCases, DegenerateOneByNGrids) {
+  // 1-pixel-tall and 1-pixel-wide images: the partitioner must not emit
+  // zero-area tiles or split below the single row/column.
+  for (const CubeShape shape : {CubeShape{16, 1, 256}, CubeShape{16, 256, 1},
+                                CubeShape{3, 1, 1}}) {
+    for (Index workers : {1, 2, 8}) {
+      const auto choice = choose_partition(shape, workers, 16);
+      const auto parts = partition_cube(shape, choice);
+      for (const auto& part : parts) {
+        EXPECT_GT(part.region.width, 0);
+        EXPECT_GT(part.region.height, 0);
+      }
+      expect_exact_tiling(shape, parts);
+    }
+  }
+}
+
 class PartitionSweep
     : public ::testing::TestWithParam<std::tuple<Index, Index, Index, Index>> {
 };
