@@ -7,6 +7,13 @@
 
 #if defined(__AVX512F__) || defined(__AVX2__)
 #include <immintrin.h>
+
+// GCC's -Wmaybe-uninitialized fires inside the AVX-512 intrinsic headers:
+// the intrinsics deliberately start from _mm512_undefined_* (GCC bug
+// 105593). Suppress just that diagnostic for this translation unit.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 #endif
 
 #include "common/aligned.h"

@@ -22,6 +22,14 @@
 #include <immintrin.h>
 #endif
 
+// GCC's -Wmaybe-uninitialized fires inside the AVX-512 intrinsic headers
+// when _mm512_cvttps_epi32 is inlined here: the intrinsics deliberately
+// start from _mm512_undefined_epi32 (GCC bug 105593). Suppress just that
+// diagnostic for this translation unit so -Werror builds stay clean.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 namespace sarbp::bp {
 namespace {
 

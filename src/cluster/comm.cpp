@@ -3,6 +3,7 @@
 #include <exception>
 #include <thread>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace sarbp::cluster {
@@ -17,21 +18,24 @@ class Cluster {
   void deliver(int dest, int source, int tag, std::vector<std::byte> payload) {
     Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
     {
-      std::lock_guard lock(box.mutex);
+      MutexLock lock(box.mutex);
       box.messages[{source, tag}].push_back(std::move(payload));
     }
+    // Mailboxes outlive the cluster threads (run_cluster joins before the
+    // Cluster dies), so notifying outside the lock is safe here and keeps
+    // the receiver from waking straight into a held mutex.
     box.cv.notify_all();
   }
 
   std::vector<std::byte> take(int dest, int source, int tag) {
     Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
-    std::unique_lock lock(box.mutex);
+    MutexLock lock(box.mutex);
     const auto key = std::make_pair(source, tag);
-    box.cv.wait(lock, [&] {
-      const auto it = box.messages.find(key);
-      return it != box.messages.end() && !it->second.empty();
-    });
     auto it = box.messages.find(key);
+    while (it == box.messages.end() || it->second.empty()) {
+      box.cv.wait(lock);
+      it = box.messages.find(key);
+    }
     std::vector<std::byte> payload = std::move(it->second.front());
     it->second.pop_front();
     return payload;
@@ -41,9 +45,10 @@ class Cluster {
 
  private:
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> messages;
+    Mutex mutex;
+    CondVar cv;
+    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> messages
+        SARBP_GUARDED_BY(mutex);
   };
   std::vector<Mailbox> boxes_;
   std::barrier<> barrier_;

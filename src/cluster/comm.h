@@ -10,14 +10,12 @@
 #pragma once
 
 #include <barrier>
-#include <condition_variable>
 #include <cstddef>
 #include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 

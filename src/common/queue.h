@@ -12,21 +12,26 @@
 // that stops consuming a queue early MUST close it, or an upstream
 // producer blocked on a full queue never wakes.
 //
+// Thread-safety discipline: `items_`/`closed_` are SARBP_GUARDED_BY the
+// queue mutex and every wait is an explicit while-loop over that guarded
+// state, so Clang's -Wthread-safety verifies the locking at compile time
+// (DESIGN.md §10). Push results are [[nodiscard]]: a dropped item on
+// close/timeout is a branch every caller must handle.
+//
 // Constructing with a name registers depth/watermark gauges and
 // pushed/popped/blocked/close counters under "queue.<name>.*" in the
 // global obs registry; unnamed queues carry no instrumentation cost.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace sarbp {
@@ -56,11 +61,11 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks while full. Returns false if the queue was closed (item dropped).
-  bool push(T item) {
-    std::unique_lock lock(mutex_);
+  [[nodiscard]] bool push(T item) {
+    MutexLock lock(mutex_);
     if (items_.size() >= capacity_ && !closed_) {
       if (blocked_push_) blocked_push_->add();
-      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      while (items_.size() >= capacity_ && !closed_) not_full_.wait(lock);
     }
     if (closed_) return false;
     items_.push_back(std::move(item));
@@ -76,14 +81,17 @@ class BoundedQueue {
   /// whichever comes first. A close() during the wait wins over the
   /// deadline: the call returns false immediately, like push().
   template <class Rep, class Period>
-  bool try_push_for(T item, std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mutex_);
+  [[nodiscard]] bool try_push_for(T item,
+                                  std::chrono::duration<Rep, Period> timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mutex_);
     if (items_.size() >= capacity_ && !closed_) {
       if (blocked_push_) blocked_push_->add();
-      if (!not_full_.wait_for(lock, timeout, [&] {
-            return items_.size() < capacity_ || closed_;
-          })) {
-        return false;  // deadline passed, still full
+      while (items_.size() >= capacity_ && !closed_) {
+        if (not_full_.wait_until(lock, deadline) == std::cv_status::timeout &&
+            items_.size() >= capacity_ && !closed_) {
+          return false;  // deadline passed, still full
+        }
       }
     }
     if (closed_) return false;
@@ -96,9 +104,9 @@ class BoundedQueue {
   }
 
   /// Non-blocking push. Returns false when full or closed.
-  bool try_push(T item) {
+  [[nodiscard]] bool try_push(T item) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       if (depth_) depth_->set(static_cast<std::int64_t>(items_.size()));
@@ -111,10 +119,10 @@ class BoundedQueue {
   /// Blocks while empty. Returns nullopt once the queue is closed *and*
   /// drained — the end-of-stream signal for consumers.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (items_.empty() && !closed_) {
       if (blocked_pop_) blocked_pop_->add();
-      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      while (items_.empty() && !closed_) not_empty_.wait(lock);
     }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
@@ -132,12 +140,15 @@ class BoundedQueue {
   /// still delivered after close(), exactly like pop().
   template <class Rep, class Period>
   std::optional<T> try_pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mutex_);
     if (items_.empty() && !closed_) {
       if (blocked_pop_) blocked_pop_->add();
-      if (!not_empty_.wait_for(lock, timeout,
-                               [&] { return !items_.empty() || closed_; })) {
-        return std::nullopt;  // deadline passed, still empty
+      while (items_.empty() && !closed_) {
+        if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout &&
+            items_.empty() && !closed_) {
+          return std::nullopt;  // deadline passed, still empty
+        }
       }
     }
     if (items_.empty()) return std::nullopt;
@@ -154,7 +165,7 @@ class BoundedQueue {
   std::optional<T> try_pop() {
     std::optional<T> out;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (items_.empty()) return std::nullopt;
       out = std::move(items_.front());
       items_.pop_front();
@@ -169,7 +180,7 @@ class BoundedQueue {
   /// pops drain remaining items then return nullopt. Idempotent.
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return;
       closed_ = true;
       if (close_events_) close_events_->add();
@@ -179,12 +190,12 @@ class BoundedQueue {
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -192,11 +203,11 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ SARBP_GUARDED_BY(mutex_);
+  bool closed_ SARBP_GUARDED_BY(mutex_) = false;
 
   // Optional instrumentation (null when unnamed or compiled out). The
   // registry owns the metric objects; these stay valid for process life.

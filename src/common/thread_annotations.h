@@ -1,0 +1,155 @@
+// Compile-time thread-safety capability layer.
+//
+// Wraps Clang's -Wthread-safety capability analysis (the annotations of
+// "C/C++ Thread Safety Analysis", Hutchins et al., CGO 2014) behind
+// SARBP_* macros, plus `sarbp::Mutex` / `sarbp::MutexLock` /
+// `sarbp::CondVar` — annotated drop-in equivalents of std::mutex,
+// std::unique_lock and std::condition_variable. Every mutex-protected
+// invariant in the concurrency core (BoundedQueue, TaskGroup,
+// TileExecutor, the job service, the plan cache, the obs registry, the
+// cluster mailboxes) is declared with these macros, so a lock-discipline
+// violation is a compile error under `-DSARBP_THREAD_SAFETY=ON` with
+// Clang instead of a lucky TSan catch at runtime.
+//
+// Project rule (enforced by tools/sarbp_lint.py): `std::mutex` and
+// `std::condition_variable` are spelled ONLY in this header. Everything
+// else takes sarbp::Mutex, so every guarded field is annotatable.
+//
+// Conventions (DESIGN.md §10):
+//   - every field protected by a mutex carries SARBP_GUARDED_BY(mutex_);
+//   - `*_locked()` helpers that assume the caller holds the lock carry
+//     SARBP_REQUIRES(mutex_);
+//   - condition waits are written as explicit while-loops over guarded
+//     state (never predicate lambdas), so the analysis sees every access;
+//   - the rare deliberate escape hatch uses SARBP_NO_THREAD_SAFETY_ANALYSIS
+//     with a written rationale.
+//
+// Under GCC (or Clang without the option) every macro expands to nothing
+// and the wrappers compile to the underlying std primitives with zero
+// overhead.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SARBP_TS_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef SARBP_TS_ATTR
+#define SARBP_TS_ATTR(x)  // no-op outside Clang
+#endif
+
+/// Type is a lockable capability ("mutex" names the kind in diagnostics).
+#define SARBP_CAPABILITY(x) SARBP_TS_ATTR(capability(x))
+/// RAII type that acquires a capability in its constructor and releases it
+/// in its destructor.
+#define SARBP_SCOPED_CAPABILITY SARBP_TS_ATTR(scoped_lockable)
+/// Field may only be read/written while holding `x`.
+#define SARBP_GUARDED_BY(x) SARBP_TS_ATTR(guarded_by(x))
+/// Pointee may only be dereferenced while holding `x`.
+#define SARBP_PT_GUARDED_BY(x) SARBP_TS_ATTR(pt_guarded_by(x))
+/// Function requires the listed capabilities to be held on entry (and
+/// still held on exit).
+#define SARBP_REQUIRES(...) \
+  SARBP_TS_ATTR(requires_capability(__VA_ARGS__))
+#define SARBP_REQUIRES_SHARED(...) \
+  SARBP_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability (held on exit, not on entry).
+#define SARBP_ACQUIRE(...) SARBP_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define SARBP_ACQUIRE_SHARED(...) \
+  SARBP_TS_ATTR(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on exit).
+#define SARBP_RELEASE(...) SARBP_TS_ATTR(release_capability(__VA_ARGS__))
+#define SARBP_RELEASE_SHARED(...) \
+  SARBP_TS_ATTR(release_shared_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `b`.
+#define SARBP_TRY_ACQUIRE(b, ...) \
+  SARBP_TS_ATTR(try_acquire_capability(b, __VA_ARGS__))
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define SARBP_EXCLUDES(...) SARBP_TS_ATTR(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the capability guarding its result.
+#define SARBP_RETURN_CAPABILITY(x) SARBP_TS_ATTR(lock_returned(x))
+/// Escape hatch: disable the analysis for one function. Every use carries
+/// a comment explaining why the discipline cannot be expressed.
+#define SARBP_NO_THREAD_SAFETY_ANALYSIS \
+  SARBP_TS_ATTR(no_thread_safety_analysis)
+
+namespace sarbp {
+
+class CondVar;
+
+/// Annotated mutual-exclusion capability. Same semantics and cost as the
+/// std::mutex it wraps; the annotation is what lets Clang check that every
+/// SARBP_GUARDED_BY field is only touched under it.
+class SARBP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SARBP_ACQUIRE() { m_.lock(); }
+  void unlock() SARBP_RELEASE() { m_.unlock(); }
+  bool try_lock() SARBP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII scope lock over a Mutex (the annotated std::unique_lock). Supports
+/// early unlock/relock; CondVar waits take it by reference.
+class SARBP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SARBP_ACQUIRE(mutex)
+      : lock_(mutex.m_) {}
+  ~MutexLock() SARBP_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() SARBP_RELEASE() { lock_.unlock(); }
+  void lock() SARBP_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable usable with MutexLock. The analysis cannot model the
+/// release-while-waiting, which is fine: the capability is held before and
+/// after every wait, exactly what guarded accesses around it need. Waits
+/// deliberately take no predicate — callers write explicit while-loops
+/// over guarded state so the analysis sees each access (DESIGN.md §10).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sarbp

@@ -60,8 +60,12 @@ TileExecutor::~TileExecutor() { drain(); }
 
 bool TileExecutor::submit(GroupPtr group) {
   ensure(group != nullptr, "TileExecutor::submit: null group");
+  // order: acquire — pairs with drain()'s release store; a submitter that
+  // sees the flag also sees the inbox close that follows it.
   if (draining_.load(std::memory_order_acquire)) return false;
-  return inbox_.push(std::move(group));
+  const bool accepted = inbox_.push(std::move(group));
+  if (accepted) notify_idle();
+  return accepted;
 }
 
 void TileExecutor::run(GroupPtr group) {
@@ -74,19 +78,35 @@ void TileExecutor::run(GroupPtr group) {
 }
 
 void TileExecutor::drain() {
+  // order: release — submitters that observe the flag (acquire) must also
+  // observe the closed inbox, so no group is silently dropped.
   draining_.store(true, std::memory_order_release);
   inbox_.close();
+  notify_idle();
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
 }
 
+void TileExecutor::notify_idle() {
+  // Taking the lock orders the notify after any in-progress wait entry, so
+  // a worker that just decided to park cannot miss the wakeup forever (the
+  // bounded wait_for covers the remaining benign race).
+  { MutexLock lock(idle_mutex_); }
+  idle_cv_.notify_all();
+}
+
 void TileExecutor::inject(GroupPtr group, int w) {
   TaskGroup* g = group.get();
-  g->injected_ = std::chrono::steady_clock::now();
+  {
+    // injected_ is read by whichever worker retires the last task; guard
+    // the hand-off instead of relying on the deque publish for ordering.
+    MutexLock lock(g->mutex_);
+    g->injected_ = std::chrono::steady_clock::now();
+  }
   if (groups_submitted_) groups_submitted_->add();
   {
-    std::lock_guard lock(live_mutex_);
+    MutexLock lock(live_mutex_);
     live_.emplace(g, std::move(group));
   }
   WorkerState& state = *states_[static_cast<std::size_t>(w)];
@@ -100,11 +120,14 @@ void TileExecutor::inject(GroupPtr group, int w) {
     state.depth_gauge->set(
         static_cast<std::int64_t>(state.deque.size_approx()));
   }
+  // New stealable tasks: wake parked peers.
+  notify_idle();
 }
 
 void TileExecutor::run_unit(TaskUnit* unit, int w, bool stolen) {
   TaskGroup* g = unit->group;
   if (stolen) {
+    // order: relaxed — statistics counter, read only after completion.
     g->stolen_.fetch_add(1, std::memory_order_relaxed);
     if (tasks_stolen_) tasks_stolen_->add();
   }
@@ -130,6 +153,8 @@ void TileExecutor::run_unit(TaskUnit* unit, int w, bool stolen) {
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - start)
                   .count()),
+          // order: relaxed — statistics sum; the acq_rel completion
+          // decrement below orders it before the continuation reads it.
           std::memory_order_relaxed);
     }
   }
@@ -141,24 +166,27 @@ void TileExecutor::run_unit(TaskUnit* unit, int w, bool stolen) {
 
   // Skipped tasks still count toward completion so on_complete runs exactly
   // once, after every unit has been claimed and retired.
+  // order: acq_rel — every worker's task effects happen-before the last
+  // finisher's continuation (release on the decrement, acquire on reading
+  // the final value); this is the reduction's publication edge.
   if (g->remaining_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
 
   // Last task: run the continuation on this worker.
   GroupPtr self;
   {
-    std::lock_guard lock(live_mutex_);
+    MutexLock lock(live_mutex_);
     auto it = live_.find(g);
     if (it != live_.end()) {
       self = std::move(it->second);
       live_.erase(it);
     }
   }
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    g->injected_)
-          .count();
+  double wall = 0.0;
   {
-    std::lock_guard lock(g->mutex_);
+    MutexLock lock(g->mutex_);
+    wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         g->injected_)
+               .count();
     g->wall_seconds_ = wall;
   }
   if (g->on_complete_) {
@@ -183,8 +211,9 @@ void TileExecutor::run_unit(TaskUnit* unit, int w, bool stolen) {
   {
     // Notify while holding the lock: a waiter may destroy the group the
     // moment it observes done_, so the condition variable must not be
-    // touched after the unlock.
-    std::lock_guard lock(g->mutex_);
+    // touched after the unlock. The model checker proves the unlocked
+    // variant loses this race (tests/model/test_model.cpp, UseAfterFree).
+    MutexLock lock(g->mutex_);
     g->done_ = true;
     g->cv_.notify_all();
   }
@@ -236,9 +265,13 @@ void TileExecutor::worker_loop(int w) {
       inject(std::move(*group), w);
       continue;
     }
+    // order: acquire/release on source_done_ — the latch pairs a worker's
+    // end-of-stream observation with everything the source wrote before
+    // reporting it (drain sees a consistent backlog).
     if (options_.source && !source_done_.load(std::memory_order_acquire)) {
       bool end = false;
       GroupPtr group = options_.source(w, 0us, &end);
+      // order: release — see the source_done_ note above.
       if (end) source_done_.store(true, std::memory_order_release);
       if (group) {
         inject(std::move(group), w);
@@ -253,21 +286,27 @@ void TileExecutor::worker_loop(int w) {
     // approximate (a peer mid-claim has an empty deque until it injects),
     // but that is benign: the claimer itself runs every task it injects.
     const bool no_more_sources =
+        // order: acquire — see the source_done_ note above.
         (!options_.source || source_done_.load(std::memory_order_acquire)) &&
         inbox_.closed();
     if (no_more_sources && inbox_.size() == 0 && all_deques_empty()) break;
 
-    // 5. Blocking waits: give the source a real budget, else nap briefly so
-    // steal retries and the exit check stay responsive without spinning.
+    // 5. Blocking waits: give the source a real budget, else park on the
+    // idle condition variable — inject()/drain() notify it, so new
+    // stealable work is picked up immediately and the bounded wait keeps
+    // steal retries and the exit check responsive without spinning.
+    // order: acquire — see the source_done_ note above.
     if (options_.source && !source_done_.load(std::memory_order_acquire)) {
       bool end = false;
       GroupPtr group = options_.source(w, 1000us, &end);
+      // order: release — see the source_done_ note above.
       if (end) source_done_.store(true, std::memory_order_release);
       if (group) inject(std::move(group), w);
     } else if (auto group = inbox_.try_pop_for(1ms)) {
       inject(std::move(*group), w);
     } else {
-      std::this_thread::sleep_for(200us);
+      MutexLock lock(idle_mutex_);
+      idle_cv_.wait_for(lock, 200us);
     }
   }
 }

@@ -33,12 +33,12 @@
 #include <chrono>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/queue.h"
+#include "common/thread_annotations.h"
 #include "exec/steal_deque.h"
 #include "exec/task_group.h"
 #include "obs/metrics.h"
@@ -107,6 +107,8 @@ class TileExecutor {
   void run_unit(TaskUnit* unit, int w, bool stolen);
   bool try_steal_and_run(int w);
   [[nodiscard]] bool all_deques_empty() const;
+  /// Wakes idle workers (new stealable work or shutdown).
+  void notify_idle();
 
   ExecOptions options_;
   obs::Registry* metrics_;
@@ -121,8 +123,14 @@ class TileExecutor {
 
   /// Keeps injected groups alive until their last task finishes (deques
   /// hold raw TaskUnit pointers into the group).
-  std::mutex live_mutex_;
-  std::unordered_map<TaskGroup*, GroupPtr> live_;
+  Mutex live_mutex_;
+  std::unordered_map<TaskGroup*, GroupPtr> live_ SARBP_GUARDED_BY(live_mutex_);
+
+  /// Idle workers park here (bounded wait) instead of sleep-polling;
+  /// inject() and drain() notify so new stealable work or shutdown is
+  /// picked up immediately.
+  Mutex idle_mutex_;
+  CondVar idle_cv_;
 
   std::vector<std::thread> threads_;
 

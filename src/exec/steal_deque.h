@@ -19,6 +19,12 @@
 // be reused by the owner only after bottom_ advances capacity slots past
 // the thief's `t`, which requires top_ > t — and any advance of top_ makes
 // the thief's CAS fail, so a stale read is always discarded.
+//
+// The deque is templated on an atomics policy so the schedule-exploring
+// model checker (tests/model/) can compile the *same algorithm* against
+// instrumented atomics that yield to a virtual scheduler before every
+// access. Production code uses the `StealDeque` alias, which binds
+// std::atomic and compiles to exactly the pre-template code.
 #pragma once
 
 #include <atomic>
@@ -38,48 +44,80 @@ struct TaskUnit {
   std::uint32_t index = 0;
 };
 
-class StealDeque {
+/// Default atomics policy: plain std::atomic.
+struct StdAtomicPolicy {
+  template <class T>
+  using Atomic = std::atomic<T>;
+};
+
+template <class Policy = StdAtomicPolicy>
+class BasicStealDeque {
+  template <class T>
+  using Atomic = typename Policy::template Atomic<T>;
+
  public:
-  explicit StealDeque(std::size_t capacity) {
+  explicit BasicStealDeque(std::size_t capacity) {
     std::size_t cap = 1;
     while (cap < capacity) cap <<= 1;
-    cells_ = std::vector<std::atomic<TaskUnit*>>(cap);
+    cells_ = std::vector<Atomic<TaskUnit*>>(cap);
     mask_ = static_cast<std::int64_t>(cap) - 1;
   }
 
-  StealDeque(const StealDeque&) = delete;
-  StealDeque& operator=(const StealDeque&) = delete;
+  BasicStealDeque(const BasicStealDeque&) = delete;
+  BasicStealDeque& operator=(const BasicStealDeque&) = delete;
 
   /// Owner only. False when full (caller runs the task inline instead).
   bool push(TaskUnit* unit) {
+    // order: relaxed — bottom_ is only written by the owner (this thread).
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    // order: acquire — pairs with the thieves' seq_cst CAS on top_ so the
+    // fullness check never sees a stale (smaller) top and rejects spuriously
+    // more than one slot early.
     const std::int64_t t = top_.load(std::memory_order_acquire);
     if (b - t > mask_) return false;
+    // order: relaxed — the cell is published by the seq_cst bottom_ store
+    // below; no thief reads index b before observing bottom_ > b.
     cells_[static_cast<std::size_t>(b & mask_)].store(
         unit, std::memory_order_relaxed);
-    // seq_cst publish: a thief that observes bottom_ > t also observes the
-    // cell written above.
+    // order: seq_cst publish — a thief that observes bottom_ > t also
+    // observes the cell written above (strong Chase-Lev formulation).
     bottom_.store(b + 1, std::memory_order_seq_cst);
     return true;
   }
 
   /// Owner only. Null when empty (or a thief won the last item).
   TaskUnit* pop() {
+    // order: relaxed — owner-private read of bottom_ (see push()).
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // order: seq_cst reservation — must be globally ordered against the
+    // thieves' top_ reads: a thief that runs after this store sees the
+    // shrunken deque, so owner and thief can never both take the cell at b.
     bottom_.store(b, std::memory_order_seq_cst);
+    // order: seq_cst — reads top_ after the reservation above in the single
+    // total order; a stale top here could double-hand-out the last item.
     std::int64_t t = top_.load(std::memory_order_seq_cst);
     if (t > b) {  // already empty: undo the reservation
+      // order: relaxed — only the owner reads bottom_ before the next
+      // seq_cst publication.
       bottom_.store(b + 1, std::memory_order_relaxed);
       return nullptr;
     }
     TaskUnit* unit =
-        cells_[static_cast<std::size_t>(b & mask_)].load(std::memory_order_relaxed);
+        // order: relaxed — cell was written by this owner (push) and cannot
+        // be concurrently overwritten: reuse of slot b requires top_ to
+        // advance past b first, which the CAS below detects.
+        cells_[static_cast<std::size_t>(b & mask_)].load(
+            std::memory_order_relaxed);
     if (t == b) {
       // Last item: race thieves for it through top_.
+      // order: seq_cst CAS — participates in the same total order as
+      // steal()'s CAS; exactly one of owner/thief advances top_ to b+1.
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         unit = nullptr;  // a thief got there first
       }
+      // order: relaxed — restores bottom_ for the (quiescent) empty deque;
+      // next push republishes with seq_cst.
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
     return unit;
@@ -88,11 +126,22 @@ class StealDeque {
   /// Any thread. Null when empty or when another thief/the owner won the
   /// race (callers just move on to the next victim).
   TaskUnit* steal() {
+    // order: seq_cst — top_ then bottom_ must read in program order within
+    // the single total order, or an interleaved owner pop could make the
+    // emptiness check pass on a cell the owner already reclaimed.
     std::int64_t t = top_.load(std::memory_order_seq_cst);
+    // order: seq_cst — see above; also pairs with push()'s publishing store
+    // so the cell read below is initialized.
     const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return nullptr;
     TaskUnit* unit =
-        cells_[static_cast<std::size_t>(t & mask_)].load(std::memory_order_relaxed);
+        // order: relaxed — safe even if stale (ABA note in the header): any
+        // owner reuse of slot t forces top_ past t, failing the CAS below,
+        // so a stale read is always discarded.
+        cells_[static_cast<std::size_t>(t & mask_)].load(
+            std::memory_order_relaxed);
+    // order: seq_cst CAS — the claim; totally ordered against pop()'s CAS
+    // and other thieves so each index is handed out exactly once.
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return nullptr;
@@ -103,7 +152,10 @@ class StealDeque {
   /// Approximate occupancy (racy; used for idle/exit heuristics and the
   /// depth gauges, never for correctness).
   [[nodiscard]] std::size_t size_approx() const {
+    // order: relaxed — deliberately racy snapshot; callers tolerate any
+    // interleaving (heuristics only).
     const std::int64_t t = top_.load(std::memory_order_relaxed);
+    // order: relaxed — same racy snapshot.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     return b > t ? static_cast<std::size_t>(b - t) : 0;
   }
@@ -113,10 +165,13 @@ class StealDeque {
   }
 
  private:
-  std::vector<std::atomic<TaskUnit*>> cells_;
+  std::vector<Atomic<TaskUnit*>> cells_;
   std::int64_t mask_ = 0;
-  alignas(64) std::atomic<std::int64_t> top_{0};
-  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) Atomic<std::int64_t> top_{0};
+  alignas(64) Atomic<std::int64_t> bottom_{0};
 };
+
+/// The production deque: std::atomic, zero abstraction cost.
+using StealDeque = BasicStealDeque<>;
 
 }  // namespace sarbp::exec

@@ -17,18 +17,22 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "exec/steal_deque.h"
 
 namespace sarbp::exec {
+
+/// Test seam: the schedule-exploring model checker (tests/model/) drives
+/// the group's private completion machinery through this friend.
+struct ModelAccess;
 
 class TaskGroup {
  public:
@@ -61,52 +65,69 @@ class TaskGroup {
   [[nodiscard]] std::vector<TaskUnit>& units() { return units_; }
 
   [[nodiscard]] bool aborted() const {
+    // order: acquire — pairs with abort()'s release so a worker that
+    // observes the flag also observes everything the aborting thread wrote
+    // before it (e.g. the RunCtx outcome the service checkpoint recorded).
     return aborted_.load(std::memory_order_acquire);
   }
-  void abort() { aborted_.store(true, std::memory_order_release); }
+  void abort() {
+    // order: release — publishes the aborter's preceding writes to workers
+    // that observe the flag with acquire (see aborted()).
+    aborted_.store(true, std::memory_order_release);
+  }
 
   /// First task-thrown error message; empty for checkpoint aborts.
-  [[nodiscard]] std::string error() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] std::string error() const SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return error_;
   }
 
-  [[nodiscard]] bool done() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] bool done() const SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return done_;
   }
 
   /// Blocks until on_complete has run (executor-side callers; the service
   /// never waits — its continuation resolves the JobHandle).
-  void wait() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return done_; });
+  void wait() SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!done_) cv_.wait(lock);
   }
 
   template <class Rep, class Period>
-  bool wait_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mutex_);
-    return cv_.wait_for(lock, timeout, [&] { return done_; });
+  bool wait_for(std::chrono::duration<Rep, Period> timeout)
+      SARBP_EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mutex_);
+    while (!done_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return done_;
+      }
+    }
+    return true;
   }
 
   // --- per-group scheduling stats (filled by the executor) ---------------
   [[nodiscard]] std::uint64_t tasks_stolen() const {
+    // order: relaxed — statistics counter; no ordering with other state.
     return stolen_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] double busy_seconds() const {
+    // order: relaxed — statistics; readers tolerate slightly-stale sums.
     return static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
   }
-  [[nodiscard]] double wall_seconds() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] double wall_seconds() const SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return wall_seconds_;
   }
 
  private:
   friend class TileExecutor;
+  friend struct ModelAccess;
 
-  void fail(const std::string& message) {
+  void fail(const std::string& message) SARBP_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (error_.empty()) error_ = message;
     }
     abort();
@@ -121,15 +142,18 @@ class TaskGroup {
   std::atomic<bool> aborted_{false};
   std::atomic<std::uint64_t> stolen_{0};
   std::atomic<std::uint64_t> busy_ns_{0};
-  std::chrono::steady_clock::time_point injected_{};
 
   std::vector<TaskUnit> units_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  double wall_seconds_ = 0.0;
-  std::string error_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  bool done_ SARBP_GUARDED_BY(mutex_) = false;
+  double wall_seconds_ SARBP_GUARDED_BY(mutex_) = 0.0;
+  std::string error_ SARBP_GUARDED_BY(mutex_);
+  /// Injection timestamp. Written by the injecting worker, read by the
+  /// (possibly different) worker that retires the last task; guarded so the
+  /// hand-off is explicit rather than riding on the deque publish.
+  std::chrono::steady_clock::time_point injected_ SARBP_GUARDED_BY(mutex_){};
 };
 
 using GroupPtr = std::shared_ptr<TaskGroup>;

@@ -30,21 +30,28 @@ void Histogram::record(double value) noexcept {
   }
   if (std::isnan(value)) return;
   if (value < 0.0) value = 0.0;
+  // order: relaxed — per-bucket event count; exporters accept slight skew
+  // between buckets and count_ (eventually-consistent summaries).
   buckets_[static_cast<std::size_t>(bucket_of(value))].fetch_add(
       1, std::memory_order_relaxed);
+  // order: relaxed — see the bucket increment above.
   count_.fetch_add(1, std::memory_order_relaxed);
 
   // CAS loops over the double bit patterns; relaxed is fine — readers only
   // need eventually-consistent summary values.
+  // order: relaxed CAS — atomicity alone makes the add lossless; no
+  // ordering against the bucket counts is required.
   std::uint64_t seen = sum_bits_.load(std::memory_order_relaxed);
   while (!sum_bits_.compare_exchange_weak(seen, to_bits(from_bits(seen) + value),
                                           std::memory_order_relaxed)) {
   }
+  // order: relaxed CAS — monotone watermark, same argument as Gauge::max.
   seen = min_bits_.load(std::memory_order_relaxed);
   while (value < from_bits(seen) &&
          !min_bits_.compare_exchange_weak(seen, to_bits(value),
                                           std::memory_order_relaxed)) {
   }
+  // order: relaxed CAS — monotone watermark, same argument as Gauge::max.
   seen = max_bits_.load(std::memory_order_relaxed);
   while (value > from_bits(seen) &&
          !max_bits_.compare_exchange_weak(seen, to_bits(value),
@@ -53,15 +60,18 @@ void Histogram::record(double value) noexcept {
 }
 
 double Histogram::sum() const noexcept {
+  // order: relaxed — eventually-consistent summary (see record()).
   return from_bits(sum_bits_.load(std::memory_order_relaxed));
 }
 
 double Histogram::min() const noexcept {
+  // order: relaxed — eventually-consistent summary (see record()).
   return count() == 0 ? 0.0
                       : from_bits(min_bits_.load(std::memory_order_relaxed));
 }
 
 double Histogram::max() const noexcept {
+  // order: relaxed — eventually-consistent summary (see record()).
   return count() == 0 ? 0.0
                       : from_bits(max_bits_.load(std::memory_order_relaxed));
 }
@@ -75,6 +85,7 @@ double Histogram::percentile(double q) const noexcept {
   std::uint64_t cumulative = 0;
   for (int i = 0; i < kBuckets; ++i) {
     const std::uint64_t in_bucket =
+        // order: relaxed — eventually-consistent summary (see record()).
         buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
     if (in_bucket == 0) continue;
     cumulative += in_bucket;
@@ -109,9 +120,10 @@ HistogramStats Histogram::stats() const {
 
 namespace {
 
+// Callers hold the registry mutex; the maps are guarded members passed by
+// reference under it.
 template <class Map>
-auto& get_or_create(Map& map, std::mutex& mutex, std::string_view name) {
-  std::lock_guard lock(mutex);
+auto& get_or_create(Map& map, std::string_view name) {
   auto it = map.find(name);
   if (it == map.end()) {
     it = map.emplace(std::string(name),
@@ -128,7 +140,8 @@ Counter& Registry::counter(std::string_view name) {
     static Counter disabled;
     return disabled;
   }
-  return get_or_create(counters_, mutex_, name);
+  MutexLock lock(mutex_);
+  return get_or_create(counters_, name);
 }
 
 Gauge& Registry::gauge(std::string_view name) {
@@ -136,7 +149,8 @@ Gauge& Registry::gauge(std::string_view name) {
     static Gauge disabled;
     return disabled;
   }
-  return get_or_create(gauges_, mutex_, name);
+  MutexLock lock(mutex_);
+  return get_or_create(gauges_, name);
 }
 
 Histogram& Registry::histogram(std::string_view name) {
@@ -144,12 +158,13 @@ Histogram& Registry::histogram(std::string_view name) {
     static Histogram disabled;
     return disabled;
   }
-  return get_or_create(histograms_, mutex_, name);
+  MutexLock lock(mutex_);
+  return get_or_create(histograms_, name);
 }
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) {
     snap.gauges[name] = {g->value(), g->max()};
@@ -159,7 +174,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -20,9 +20,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/thread_annotations.h"
 
 #ifndef SARBP_OBS_ENABLED
 #define SARBP_OBS_ENABLED 1
@@ -36,10 +37,13 @@ inline constexpr bool kEnabled = SARBP_OBS_ENABLED != 0;
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
+    // order: relaxed — independent event count; exporters only need an
+    // eventually-consistent value, never ordering against other state.
     if constexpr (kEnabled) value_.fetch_add(n, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t value() const noexcept {
+    // order: relaxed — see add().
     return value_.load(std::memory_order_relaxed);
   }
 
@@ -53,6 +57,8 @@ class Gauge {
  public:
   void set(std::int64_t v) noexcept {
     if constexpr (kEnabled) {
+      // order: relaxed — levels are advisory snapshots; readers tolerate
+      // any interleaving of concurrent set()s.
       value_.store(v, std::memory_order_relaxed);
       raise_max(v);
     }
@@ -61,20 +67,26 @@ class Gauge {
   void add(std::int64_t delta) noexcept {
     if constexpr (kEnabled) {
       const std::int64_t v =
+          // order: relaxed — atomic RMW keeps the level exact under
+          // concurrent add()s; no cross-variable ordering needed.
           value_.fetch_add(delta, std::memory_order_relaxed) + delta;
       raise_max(v);
     }
   }
 
   [[nodiscard]] std::int64_t value() const noexcept {
+    // order: relaxed — advisory snapshot (see set()).
     return value_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::int64_t max() const noexcept {
+    // order: relaxed — advisory snapshot (see set()).
     return max_.load(std::memory_order_relaxed);
   }
 
  private:
   void raise_max(std::int64_t v) noexcept {
+    // order: relaxed CAS loop — the watermark only ever grows; the loop
+    // retries until this writer's v is reflected or beaten by a larger one.
     std::int64_t seen = max_.load(std::memory_order_relaxed);
     while (v > seen &&
            !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
@@ -113,6 +125,8 @@ class Histogram {
   void record(double value) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept {
+    // order: relaxed — summary statistic; exporters accept slight skew
+    // between count_ and the bucket array (documented in DESIGN.md §6).
     return count_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] double sum() const noexcept;
@@ -168,10 +182,13 @@ class Registry {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SARBP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SARBP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SARBP_GUARDED_BY(mutex_);
 };
 
 /// The process-global registry every instrumented layer records into.

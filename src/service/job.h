@@ -12,14 +12,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 
 #include "asr/block_plan.h"
+#include "common/thread_annotations.h"
 #include "common/grid2d.h"
 #include "common/region.h"
 #include "common/types.h"
@@ -116,6 +115,9 @@ class ImageFormationService;
 class JobHandle {
  public:
   [[nodiscard]] JobState state() const {
+    // order: acquire — pairs with finish_locked's release store so a
+    // lock-free reader that observes a terminal state also observes the
+    // JobResult written before it (result() then reads it under the lock).
     return state_.load(std::memory_order_acquire);
   }
 
@@ -126,36 +128,46 @@ class JobHandle {
   /// immediately; a RUNNING job transitions at the worker's next
   /// inter-block checkpoint. Returns false when the job was already
   /// terminal (too late to cancel).
-  bool cancel() {
+  bool cancel() SARBP_EXCLUDES(mutex_) {
+    // order: release — pairs with the workers' acquire poll in the
+    // inter-block checkpoint; nothing precedes it that matters, but the
+    // flag must not sink below the state checks under the lock.
     cancel_requested_.store(true, std::memory_order_release);
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (state() != JobState::kQueued && state() != JobState::kRunning) {
       return false;
     }
     if (state() == JobState::kQueued) {
-      finish_locked(JobState::kCancelled, lock);
+      finish_locked(JobState::kCancelled);
     }
     return true;  // running: the worker observes the flag between blocks
   }
 
   /// Blocks until the job reaches a terminal state; returns the result.
-  const JobResult& wait() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return is_terminal(state()); });
+  const JobResult& wait() SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!is_terminal(state())) cv_.wait(lock);
     return result_;
   }
 
   /// Bounded wait; true when the job is terminal within `timeout`.
   template <class Rep, class Period>
-  bool wait_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mutex_);
-    return cv_.wait_for(lock, timeout, [&] { return is_terminal(state()); });
+  bool wait_for(std::chrono::duration<Rep, Period> timeout)
+      SARBP_EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mutex_);
+    while (!is_terminal(state())) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return is_terminal(state());
+      }
+    }
+    return true;
   }
 
   /// Terminal result; call only after wait()/wait_for() succeeded (or
   /// state() reported a terminal state).
-  [[nodiscard]] const JobResult& result() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] const JobResult& result() const SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return result_;
   }
 
@@ -165,13 +177,16 @@ class JobHandle {
   explicit JobHandle(ImageFormationRequest req) : request_(std::move(req)) {}
 
   [[nodiscard]] bool cancel_requested() const {
+    // order: acquire — pairs with cancel()'s release store.
     return cancel_requested_.load(std::memory_order_acquire);
   }
 
   /// QUEUED -> RUNNING; false when a cancel/expiry already won.
-  bool start_running() {
-    std::lock_guard lock(mutex_);
+  bool start_running() SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (state() != JobState::kQueued) return false;
+    // order: release — keeps the lock-free state() contract uniform; the
+    // transition itself is serialized by mutex_.
     state_.store(JobState::kRunning, std::memory_order_release);
     return true;
   }
@@ -179,20 +194,30 @@ class JobHandle {
   /// Transition to a terminal state, stamp bookkeeping, wake waiters, and
   /// bump the service-level accounting shared through the registry. Safe to
   /// call once; later calls are no-ops (first terminal transition wins).
-  void finish(JobState terminal) {
-    std::unique_lock lock(mutex_);
+  void finish(JobState terminal) SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (is_terminal(state())) return;
-    finish_locked(terminal, lock);
+    finish_locked(terminal);
   }
 
-  void finish_locked(JobState terminal, std::unique_lock<std::mutex>& lock) {
+  /// Caller holds mutex_ and has verified the state is not yet terminal.
+  /// Notifies while still holding the lock: a waiter may destroy this
+  /// handle the moment it observes the terminal state, so the condition
+  /// variable must not be touched after the mutex is released (same
+  /// discipline as the executor's group completion; see
+  /// tests/model/test_model.cpp, UseAfterFree).
+  void finish_locked(JobState terminal) SARBP_REQUIRES(mutex_) {
     result_.state = terminal;
     result_.latency_seconds = std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() - submitted_)
                                   .count();
     if (completion_seq_ != nullptr) {
       result_.completion_index =
-          completion_seq_->fetch_add(1, std::memory_order_acq_rel);
+          // order: relaxed — a pure ticket counter: atomicity gives each
+          // finished job a unique, monotonically assigned index, and the
+          // index is published to readers by the release store of state_
+          // below (PR 5 audit; was acq_rel, TSan-clean relaxed).
+          completion_seq_->fetch_add(1, std::memory_order_relaxed);
     }
     if (metrics_ != nullptr) {
       metrics_->counter(std::string("service.jobs.") +
@@ -202,17 +227,18 @@ class JobHandle {
                           priority_name(request_.priority))
           .record(result_.latency_seconds);
     }
+    // order: release — publishes result_ to lock-free state() readers (see
+    // state()); waiters under the lock are woken below.
     state_.store(terminal, std::memory_order_release);
-    lock.unlock();
     cv_.notify_all();
   }
 
   ImageFormationRequest request_;
   std::atomic<JobState> state_{JobState::kQueued};
   std::atomic<bool> cancel_requested_{false};
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  JobResult result_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  JobResult result_ SARBP_GUARDED_BY(mutex_);
   // Stamped by the service at admission. The registry and sequence pointer
   // must outlive every in-flight handle; the service guarantees that by
   // draining before destruction.

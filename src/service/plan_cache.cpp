@@ -246,7 +246,7 @@ std::shared_ptr<const FormationPlan> PlanCache::get_or_build(
     Index block_h, const sim::PhaseHistory& history, bool* hit) {
   const PlanKey key = make_plan_key(grid, region, block_w, block_h, history);
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -259,7 +259,7 @@ std::shared_ptr<const FormationPlan> PlanCache::get_or_build(
   if (hit != nullptr) *hit = false;
   auto plan = build_formation_plan(grid, region, block_w, block_h, history);
   if (capacity_ > 0) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (index_.find(key) == index_.end()) {
       insert_locked(plan);
     }
@@ -287,17 +287,17 @@ void PlanCache::update_gauges_locked() {
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return lru_.size();
 }
 
 std::size_t PlanCache::bytes() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return bytes_;
 }
 
 void PlanCache::clear() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;

@@ -22,9 +22,10 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #include "asr/block_plan.h"
 #include "asr/tables.h"
@@ -151,15 +152,18 @@ class PlanCache {
   void clear();
 
  private:
-  void insert_locked(std::shared_ptr<const FormationPlan> plan);
-  void update_gauges_locked();
+  void insert_locked(std::shared_ptr<const FormationPlan> plan)
+      SARBP_REQUIRES(mutex_);
+  void update_gauges_locked() SARBP_REQUIRES(mutex_);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Front = most recently used.
-  std::list<std::shared_ptr<const FormationPlan>> lru_;
-  std::unordered_map<PlanKey, decltype(lru_)::iterator, PlanKeyHash> index_;
-  std::size_t bytes_ = 0;
+  std::list<std::shared_ptr<const FormationPlan>> lru_
+      SARBP_GUARDED_BY(mutex_);
+  std::unordered_map<PlanKey, decltype(lru_)::iterator, PlanKeyHash> index_
+      SARBP_GUARDED_BY(mutex_);
+  std::size_t bytes_ SARBP_GUARDED_BY(mutex_) = 0;
 
   obs::Counter* hits_ = nullptr;
   obs::Counter* misses_ = nullptr;

@@ -52,6 +52,8 @@ ImageFormationService::ImageFormationService(ServiceConfig config)
 ImageFormationService::~ImageFormationService() { drain(); }
 
 SubmitOutcome ImageFormationService::submit(ImageFormationRequest request) {
+  // order: acquire — pairs with drain()'s release store; a submitter that
+  // observes the flag also observes the closed queues behind it.
   if (draining_.load(std::memory_order_acquire)) {
     if (rejected_shutdown_) rejected_shutdown_->add();
     return {nullptr, RejectReason::kShuttingDown};
@@ -75,19 +77,26 @@ SubmitOutcome ImageFormationService::submit(ImageFormationRequest request) {
   // Admission: the ready queue for this class holds at most max_pending
   // jobs; a full pending set makes this try_push_for wait out the grace
   // period and then fail — the reject-with-reason overload behaviour.
-  if (std::size_t n = pending_.fetch_add(1, std::memory_order_acq_rel);
+  // order: relaxed on pending_ throughout — an advisory admission counter:
+  // only its atomically-updated value matters, never its ordering against
+  // other state (jobs are published through the ready queues' mutexes).
+  // PR 5 audit; was acq_rel, TSan-clean relaxed.
+  if (std::size_t n = pending_.fetch_add(1, std::memory_order_relaxed);
       n >= config_.max_pending) {
-    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    // order: relaxed — advisory admission counter (see note above).
+    pending_.fetch_sub(1, std::memory_order_relaxed);
     if (config_.admission_grace.count() == 0 ||
         !ready_[static_cast<std::size_t>(pri)]->try_push_for(
             job, config_.admission_grace)) {
       if (rejected_full_) rejected_full_->add();
       return {nullptr, RejectReason::kQueueFull};
     }
-    pending_.fetch_add(1, std::memory_order_acq_rel);
+    // order: relaxed — advisory admission counter (see note above).
+    pending_.fetch_add(1, std::memory_order_relaxed);
   } else if (!ready_[static_cast<std::size_t>(pri)]->try_push_for(
                  job, config_.admission_grace)) {
-    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    // order: relaxed — advisory admission counter (see note above).
+    pending_.fetch_sub(1, std::memory_order_relaxed);
     const bool closed = ready_[static_cast<std::size_t>(pri)]->closed();
     if (closed) {
       if (rejected_shutdown_) rejected_shutdown_->add();
@@ -97,6 +106,7 @@ SubmitOutcome ImageFormationService::submit(ImageFormationRequest request) {
     return {nullptr, RejectReason::kQueueFull};
   }
   if (pending_gauge_) {
+    // order: relaxed — advisory admission counter (see note above).
     pending_gauge_->set(static_cast<std::int64_t>(
         pending_.load(std::memory_order_relaxed)));
   }
@@ -105,12 +115,13 @@ SubmitOutcome ImageFormationService::submit(ImageFormationRequest request) {
     // drain() closed the token queue between our admission check and here.
     // The job sits in a ready queue no worker will be told about — resolve
     // the handle so nobody waits forever.
-    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    // order: relaxed — see the admission-counter note above.
+    pending_.fetch_sub(1, std::memory_order_relaxed);
     {
-      std::unique_lock lock(job->mutex_);
+      MutexLock lock(job->mutex_);
       if (!is_terminal(job->state())) {
         job->result_.error = "service shutting down";
-        job->finish_locked(JobState::kCancelled, lock);
+        job->finish_locked(JobState::kCancelled);
       }
     }
     if (rejected_shutdown_) rejected_shutdown_->add();
@@ -122,13 +133,14 @@ SubmitOutcome ImageFormationService::submit(ImageFormationRequest request) {
 
 void ImageFormationService::resume() {
   {
-    std::lock_guard lock(gate_mutex_);
+    MutexLock lock(gate_mutex_);
     gate_open_ = true;
   }
   gate_cv_.notify_all();
 }
 
 void ImageFormationService::drain() {
+  // order: release — pairs with submit()'s acquire load (see submit()).
   draining_.store(true, std::memory_order_release);
   resume();  // paused workers must run to drain the backlog
   tokens_.close();
@@ -137,8 +149,8 @@ void ImageFormationService::drain() {
 }
 
 void ImageFormationService::wait_gate() {
-  std::unique_lock lock(gate_mutex_);
-  gate_cv_.wait(lock, [&] { return gate_open_; });
+  MutexLock lock(gate_mutex_);
+  while (!gate_open_) gate_cv_.wait(lock);
 }
 
 exec::GroupPtr ImageFormationService::next_group(
@@ -155,7 +167,8 @@ exec::GroupPtr ImageFormationService::next_group(
   }
   JobPtr job = take_highest_priority();
   if (job == nullptr) return nullptr;  // defensive; the invariant says never
-  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  // order: relaxed — advisory admission counter (see submit()).
+  pending_.fetch_sub(1, std::memory_order_relaxed);
   if (pending_gauge_) {
     pending_gauge_->set(static_cast<std::int64_t>(
         pending_.load(std::memory_order_relaxed)));
@@ -184,13 +197,14 @@ namespace {
 /// Shared outcome of one running job, written by whichever worker's
 /// checkpoint trips first and read by the completion continuation.
 struct RunCtx {
-  std::mutex mutex;
-  JobState outcome = JobState::kDone;
-  std::string error;
+  Mutex mutex;
+  JobState outcome SARBP_GUARDED_BY(mutex) = JobState::kDone;
+  std::string error SARBP_GUARDED_BY(mutex);
   std::chrono::steady_clock::time_point compute_start;
 
-  void set_failure(JobState state, const char* message) {
-    std::lock_guard lock(mutex);
+  void set_failure(JobState state, const char* message)
+      SARBP_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     if (outcome == JobState::kDone) {
       outcome = state;
       error = message;
@@ -211,11 +225,11 @@ exec::GroupPtr ImageFormationService::build_job_group(const JobPtr& job) {
 
   const auto& request = job->request_;
   if (request.deadline.has_value() && now > *request.deadline) {
-    std::unique_lock lock(job->mutex_);
+    MutexLock lock(job->mutex_);
     if (!is_terminal(job->state())) {
       job->result_.error = "deadline passed while queued";
       job->result_.queue_seconds = queued_for;
-      job->finish_locked(JobState::kExpired, lock);
+      job->finish_locked(JobState::kExpired);
     }
     return nullptr;
   }
@@ -235,12 +249,12 @@ exec::GroupPtr ImageFormationService::build_job_group(const JobPtr& job) {
     if (setup_s_) setup_s_->record(setup_seconds);
   } catch (const std::exception& e) {
     if (busy_gauge_) busy_gauge_->add(-1);
-    std::unique_lock lock(job->mutex_);
+    MutexLock lock(job->mutex_);
     if (!is_terminal(job->state())) {
       job->result_.queue_seconds = queued_for;
       job->result_.setup_seconds = setup_seconds;
       job->result_.error = e.what();
-      job->finish_locked(JobState::kFailed, lock);
+      job->finish_locked(JobState::kFailed);
     }
     return nullptr;
   }
@@ -281,7 +295,7 @@ exec::GroupPtr ImageFormationService::build_job_group(const JobPtr& job) {
     JobState outcome;
     std::string error;
     {
-      std::lock_guard lock(ctx->mutex);
+      MutexLock lock(ctx->mutex);
       outcome = ctx->outcome;
       error = ctx->error;
     }
@@ -297,7 +311,7 @@ exec::GroupPtr ImageFormationService::build_job_group(const JobPtr& job) {
     }
     if (busy_gauge_) busy_gauge_->add(-1);
 
-    std::unique_lock lock(job->mutex_);
+    MutexLock lock(job->mutex_);
     if (is_terminal(job->state())) return;  // lost a race to cancel()
     job->result_.queue_seconds = queued_for;
     job->result_.setup_seconds = setup_seconds;
@@ -305,7 +319,7 @@ exec::GroupPtr ImageFormationService::build_job_group(const JobPtr& job) {
     job->result_.plan_cache_hit = cache_hit;
     job->result_.error = std::move(error);
     if (outcome == JobState::kDone) job->result_.image = std::move(image);
-    job->finish_locked(outcome, lock);
+    job->finish_locked(outcome);
   };
 
   return make_plan_replay_group(std::move(plan), request.pulses,

@@ -31,14 +31,13 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/queue.h"
+#include "common/thread_annotations.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
 #include "service/job.h"
@@ -165,9 +164,9 @@ class ImageFormationService {
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> completion_seq_{0};
 
-  std::mutex gate_mutex_;
-  std::condition_variable gate_cv_;
-  bool gate_open_;
+  Mutex gate_mutex_;
+  CondVar gate_cv_;
+  bool gate_open_ SARBP_GUARDED_BY(gate_mutex_);
 
   obs::Counter* submitted_ = nullptr;
   obs::Counter* rejected_full_ = nullptr;

@@ -269,6 +269,8 @@ ReplayStats replay_trace(const Trace& trace, ImageFormationService& service) {
   for (const auto& entry : trace.requests) {
     for (int r = 0; r < entry.repeat; ++r) {
       if (entry.delay_ms > 0.0) {
+        // Open-loop arrival pacing, not a wait for another thread's state.
+        // lint: allow(sleep-poll) -- pacing; nothing could notify this wait
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(entry.delay_ms));
       }

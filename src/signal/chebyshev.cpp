@@ -3,10 +3,10 @@
 #include <array>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <numbers>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace sarbp::signal {
 
@@ -70,8 +70,8 @@ struct SinCosPlan {
 const SinCosPlan& plan_for(int degree) {
   ensure(degree >= 1 && degree <= 16, "sincos_chebyshev: degree in [1, 16]");
   static std::array<std::unique_ptr<SinCosPlan>, 17> plans;
-  static std::mutex mutex;
-  std::lock_guard lock(mutex);
+  static Mutex mutex;
+  MutexLock lock(mutex);
   auto& slot = plans[static_cast<std::size_t>(degree)];
   if (!slot) {
     const double q = std::numbers::pi / 4.0;

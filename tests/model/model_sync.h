@@ -1,0 +1,426 @@
+// Schedule-exploring model checker for the concurrency core.
+//
+// The checker runs a small fixed set of "model threads" under a virtual
+// scheduler that allows exactly ONE thread to run at a time. Every access
+// through the instrumented primitives (ModelAtomic, ModelMutex,
+// ModelCondVar) is a scheduling point: the scheduler may preempt there and
+// hand the token to any other runnable thread. Because context switches
+// happen only at these points and each run's choice sequence is fully
+// determined by a (forced-prefix, seed) pair, executions are deterministic
+// and replayable — a failing schedule is a value you can print and re-run.
+//
+// Exploration combines two strategies (explore() in test_model.cpp):
+//   * exhaustive-up-to-depth: a DFS over the first `dfs_depth` scheduling
+//     choices, so every early divergence is systematically covered;
+//   * randomized preemption: the remainder of each execution follows a
+//     seeded RNG, sampling deep interleavings cheaply.
+// Distinct interleavings are counted by hashing the chosen-thread sequence
+// at every real choice point (>1 runnable thread).
+//
+// The interleaving semantics are sequentially consistent (one thread at a
+// time, shared memory updated in place). That is deliberate: the deque
+// under test uses the strong seq_cst Chase-Lev formulation, whose races —
+// the owner/thief last-item race, the completion/abort races — are
+// *interleaving* bugs, visible under SC. Weak-memory reorderings are out of
+// scope here; tools/run_sanitized_tests.sh tsan covers those.
+//
+// Lifetime bugs (the PR 3 notify-after-unlock use-after-free class) are
+// caught by poisoning: ModelMutex/ModelCondVar have an explicit destroy()
+// the fixture calls where the real code would run a destructor, and any
+// later use of the poisoned object is recorded as a violation instead of
+// being undefined behaviour.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sarbp::model {
+
+/// Thrown inside model threads to unwind them when a run is aborted
+/// (deadlock detected or step cap hit). Bodies must let it propagate.
+struct ModelAbort {};
+
+struct ModelMutex;
+struct ModelCondVar;
+
+class VirtualScheduler {
+ public:
+  /// Outcome of one execution.
+  struct Result {
+    bool deadlock = false;        ///< no runnable thread, some still blocked
+    bool truncated = false;       ///< hit kMaxSteps (livelocked schedule)
+    bool use_after_destroy = false;  ///< poisoned primitive touched
+    std::uint64_t hash = 1469598103934665603ULL;  ///< FNV over choices
+    /// Number of runnable threads at each real choice point, in order —
+    /// the branching structure explore() expands its DFS prefixes over.
+    std::vector<std::uint8_t> branching;
+  };
+
+  static constexpr int kMaxSteps = 20000;
+
+  /// `forced`: explicit choices (index into the runnable set) consumed
+  /// first; the remainder of the schedule draws from `seed`.
+  VirtualScheduler(std::vector<int> forced, std::uint64_t seed)
+      : forced_(std::move(forced)), rng_(seed) {}
+
+  /// Runs every body to completion (or abort) under one schedule.
+  Result run(std::vector<std::function<void()>> bodies) {
+    const int n = static_cast<int>(bodies.size());
+    state_.assign(static_cast<std::size_t>(n), St::kReady);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back(
+          [this, i,
+           body = std::move(bodies[static_cast<std::size_t>(i)])]() mutable {
+            tls_sched_ = this;
+            tls_self_ = i;
+            {
+              std::unique_lock lk(m_);
+              cv_.wait(lk, [&] { return current_ == i || abort_; });
+            }
+            if (!abort_) {
+              try {
+                body();
+              } catch (const ModelAbort&) {
+              }
+            }
+            std::unique_lock lk(m_);
+            state_[static_cast<std::size_t>(i)] = St::kFinished;
+            if (!abort_) hand_off_locked(/*self_runnable=*/false);
+            cv_.notify_all();
+            tls_sched_ = nullptr;
+          });
+    }
+    {
+      std::unique_lock lk(m_);
+      current_ = pick_locked();  // n >= 1, all ready: never -1
+      cv_.notify_all();
+    }
+    for (auto& t : threads) t.join();
+    return result_;
+  }
+
+  /// Scheduling point for the *current* model thread. No-op when called
+  /// outside a model run (so instrumented types work in plain tests too).
+  static void yield() {
+    if (tls_sched_ != nullptr) tls_sched_->yield_point(tls_self_);
+  }
+
+  /// The scheduler driving the calling thread; null outside a model run.
+  [[nodiscard]] static VirtualScheduler* current() { return tls_sched_; }
+
+  // ----- ModelMutex / ModelCondVar hooks ---------------------------------
+  void lock(ModelMutex& mu);
+  void unlock(ModelMutex& mu);
+  void wait(ModelCondVar& cv, ModelMutex& mu);
+  void notify(ModelCondVar& cv, bool all);
+
+ private:
+  enum class St : std::uint8_t { kReady, kBlocked, kFinished };
+
+  /// Picks the next thread among runnable ones; -1 when none. Consumes a
+  /// choice (and records branching + hash) only at real choice points.
+  int pick_locked() {
+    runnable_.clear();
+    for (int i = 0; i < static_cast<int>(state_.size()); ++i) {
+      if (state_[static_cast<std::size_t>(i)] == St::kReady) {
+        runnable_.push_back(i);
+      }
+    }
+    if (runnable_.empty()) return -1;
+    std::size_t idx = 0;
+    if (runnable_.size() > 1) {
+      result_.branching.push_back(static_cast<std::uint8_t>(runnable_.size()));
+      if (pos_ < forced_.size()) {
+        idx = static_cast<std::size_t>(forced_[pos_++]) % runnable_.size();
+      } else {
+        idx = static_cast<std::size_t>(rng_()) % runnable_.size();
+      }
+      result_.hash ^= static_cast<std::uint64_t>(runnable_[idx]) + 0x9e37;
+      result_.hash *= 0x100000001b3ULL;
+    }
+    return runnable_[idx];
+  }
+
+  /// With m_ held: choose the next thread and publish it. When the caller
+  /// stays runnable it may well pick itself. Detects deadlock when the
+  /// caller is leaving the runnable set for good.
+  void hand_off_locked(bool self_runnable) {
+    const int next = pick_locked();
+    if (next == -1) {
+      if (!self_runnable) {
+        bool any_blocked = false;
+        for (const St s : state_) any_blocked |= (s == St::kBlocked);
+        if (any_blocked) {
+          result_.deadlock = true;
+          abort_ = true;
+        }
+      }
+      current_ = -1;
+      return;
+    }
+    current_ = next;
+  }
+
+  void yield_point(int self) {
+    std::unique_lock lk(m_);
+    bump_step_locked();
+    hand_off_locked(/*self_runnable=*/true);
+    wait_for_turn(lk, self);
+  }
+
+  void bump_step_locked() {
+    if (++steps_ > kMaxSteps) {
+      result_.truncated = true;
+      abort_ = true;
+      cv_.notify_all();
+      throw ModelAbort{};
+    }
+  }
+
+  /// With m_ held and state_[self] just set to kBlocked: hand control away
+  /// and sleep until runnable *and* scheduled again (or the run aborts).
+  void block_and_wait(std::unique_lock<std::mutex>& lk, int self) {
+    hand_off_locked(/*self_runnable=*/false);
+    wait_for_turn(lk, self);
+  }
+
+  void wait_for_turn(std::unique_lock<std::mutex>& lk, int self) {
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return abort_ || current_ == self; });
+    if (abort_) throw ModelAbort{};
+  }
+
+  void flag_poison_locked() { result_.use_after_destroy = true; }
+
+  static thread_local VirtualScheduler* tls_sched_;
+  static thread_local int tls_self_;
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<St> state_;
+  std::vector<int> runnable_;
+  int current_ = -1;
+  bool abort_ = false;
+  int steps_ = 0;
+  std::vector<int> forced_;
+  std::size_t pos_ = 0;
+  std::mt19937_64 rng_;
+  Result result_;
+};
+
+inline thread_local VirtualScheduler* VirtualScheduler::tls_sched_ = nullptr;
+inline thread_local int VirtualScheduler::tls_self_ = -1;
+
+// --------------------------------------------------------------------------
+/// Instrumented atomic: plain value + a scheduling point before every
+/// access. Only one model thread runs at a time and scheduler hand-offs
+/// synchronize, so unprotected access to v_ is race-free.
+template <class T>
+class ModelAtomic {
+ public:
+  ModelAtomic() noexcept : v_{} {}
+  ModelAtomic(T v) noexcept : v_(v) {}  // NOLINT(google-explicit-constructor)
+  ModelAtomic(const ModelAtomic&) = delete;
+  ModelAtomic& operator=(const ModelAtomic&) = delete;
+
+  T load(std::memory_order = std::memory_order_seq_cst) const {
+    VirtualScheduler::yield();
+    return v_;
+  }
+  void store(T v, std::memory_order = std::memory_order_seq_cst) {
+    VirtualScheduler::yield();
+    v_ = v;
+  }
+  T exchange(T v, std::memory_order = std::memory_order_seq_cst) {
+    VirtualScheduler::yield();
+    T old = v_;
+    v_ = v;
+    return old;
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired, std::memory_order = std::memory_order_seq_cst,
+      std::memory_order = std::memory_order_seq_cst) {
+    VirtualScheduler::yield();
+    if (v_ == expected) {
+      v_ = desired;
+      return true;
+    }
+    expected = v_;
+    return false;
+  }
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order mo1 = std::memory_order_seq_cst,
+      std::memory_order mo2 = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo1, mo2);
+  }
+  T fetch_add(T delta, std::memory_order = std::memory_order_seq_cst) {
+    VirtualScheduler::yield();
+    T old = v_;
+    v_ = static_cast<T>(v_ + delta);
+    return old;
+  }
+  T fetch_sub(T delta, std::memory_order = std::memory_order_seq_cst) {
+    VirtualScheduler::yield();
+    T old = v_;
+    v_ = static_cast<T>(v_ - delta);
+    return old;
+  }
+
+ private:
+  T v_;
+};
+
+/// Atomics policy binding BasicStealDeque (and friends) to the scheduler.
+struct ModelAtomicPolicy {
+  template <class T>
+  using Atomic = ModelAtomic<T>;
+};
+
+// --------------------------------------------------------------------------
+/// Cooperative mutex. destroy() poisons the object: later use is recorded
+/// on the scheduler as a violation instead of being undefined behaviour.
+struct ModelMutex {
+  bool held = false;
+  int owner = -1;
+  bool destroyed = false;
+  std::vector<int> waiters;
+
+  void lock() {
+    if (auto* s = VirtualScheduler::current()) s->lock(*this);
+    else held = true;  // single-threaded fallback outside model runs
+  }
+  void unlock() {
+    if (auto* s = VirtualScheduler::current()) s->unlock(*this);
+    else held = false;
+  }
+  void destroy() { destroyed = true; }
+};
+
+/// Cooperative condition variable over ModelMutex.
+struct ModelCondVar {
+  std::vector<int> waiters;
+  bool destroyed = false;
+
+  /// Caller must hold `mu`. Releases it, blocks until notified, reacquires.
+  void wait(ModelMutex& mu) {
+    if (auto* s = VirtualScheduler::current()) s->wait(*this, mu);
+  }
+  void notify_one() {
+    if (auto* s = VirtualScheduler::current()) s->notify(*this, false);
+  }
+  void notify_all() {
+    if (auto* s = VirtualScheduler::current()) s->notify(*this, true);
+  }
+  void destroy() { destroyed = true; }
+};
+
+/// RAII lock for ModelMutex (mirrors sarbp::MutexLock).
+class ModelMutexLock {
+ public:
+  explicit ModelMutexLock(ModelMutex& mu) : mu_(mu) { mu_.lock(); }
+  ~ModelMutexLock() {
+    if (held_) mu_.unlock();
+  }
+  ModelMutexLock(const ModelMutexLock&) = delete;
+  ModelMutexLock& operator=(const ModelMutexLock&) = delete;
+  void unlock() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+ private:
+  ModelMutex& mu_;
+  bool held_ = true;
+};
+
+inline void VirtualScheduler::lock(ModelMutex& mu) {
+  const int self = tls_self_;
+  yield_point(self);  // the acquire attempt is a scheduling point
+  std::unique_lock lk(m_);
+  if (mu.destroyed) flag_poison_locked();
+  while (mu.held) {
+    state_[static_cast<std::size_t>(self)] = St::kBlocked;
+    mu.waiters.push_back(self);
+    block_and_wait(lk, self);
+  }
+  mu.held = true;
+  mu.owner = self;
+}
+
+// unlock() must be usable from destructors unwinding on ModelAbort (RAII
+// guards release their mutex while the abort exception is in flight), so
+// unlike every other hook it NEVER throws: once the run is aborted it
+// releases the mutex without a scheduling point. The body then stops at its
+// next instrumented operation instead.
+inline void VirtualScheduler::unlock(ModelMutex& mu) {
+  const int self = tls_self_;
+  std::unique_lock lk(m_);
+  if (!abort_) {
+    if (++steps_ > kMaxSteps) {
+      result_.truncated = true;
+      abort_ = true;
+    } else {
+      hand_off_locked(/*self_runnable=*/true);
+      cv_.notify_all();
+      cv_.wait(lk, [&] { return abort_ || current_ == self; });
+    }
+  }
+  if (mu.destroyed) flag_poison_locked();
+  mu.held = false;
+  mu.owner = -1;
+  for (const int w : mu.waiters) {
+    state_[static_cast<std::size_t>(w)] = St::kReady;
+  }
+  mu.waiters.clear();
+  if (abort_) cv_.notify_all();  // make sure peers wake up and unwind too
+}
+
+inline void VirtualScheduler::wait(ModelCondVar& cv, ModelMutex& mu) {
+  const int self = tls_self_;
+  {
+    std::unique_lock lk(m_);
+    if (cv.destroyed || mu.destroyed) flag_poison_locked();
+    // Atomically release the mutex and join the wait set (no lost wakeup:
+    // both happen under the scheduler lock, before control is handed off).
+    mu.held = false;
+    mu.owner = -1;
+    for (const int w : mu.waiters) {
+      state_[static_cast<std::size_t>(w)] = St::kReady;
+    }
+    mu.waiters.clear();
+    cv.waiters.push_back(self);
+    state_[static_cast<std::size_t>(self)] = St::kBlocked;
+    block_and_wait(lk, self);
+  }
+  lock(mu);  // woken: reacquire before returning, like std::condition_variable
+}
+
+inline void VirtualScheduler::notify(ModelCondVar& cv, bool all) {
+  const int self = tls_self_;
+  yield_point(self);
+  std::unique_lock lk(m_);
+  if (cv.destroyed) {
+    flag_poison_locked();  // notify on a destroyed condvar: the UAF class
+    return;
+  }
+  if (all) {
+    for (const int w : cv.waiters) {
+      state_[static_cast<std::size_t>(w)] = St::kReady;
+    }
+    cv.waiters.clear();
+  } else if (!cv.waiters.empty()) {
+    state_[static_cast<std::size_t>(cv.waiters.front())] = St::kReady;
+    cv.waiters.erase(cv.waiters.begin());
+  }
+}
+
+}  // namespace sarbp::model

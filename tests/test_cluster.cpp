@@ -181,7 +181,9 @@ TEST(Halo, ExchangeFillsMarginsFromNeighbours) {
                 ranks.rank_of(rx + 1, ry + 1));
     }
     // Image-edge margins stay untouched.
-    if (rx == 0) EXPECT_EQ(tile.at(0, halo + 1), rx > 0 ? 0 : -1);
+    if (rx == 0) {
+      EXPECT_EQ(tile.at(0, halo + 1), rx > 0 ? 0 : -1);
+    }
   });
 }
 

@@ -141,8 +141,8 @@ TEST(BoundedQueue, TryPopEmptyReturnsNullopt) {
 
 TEST(BoundedQueue, CloseDrainsThenSignalsEnd) {
   BoundedQueue<int> q(4);
-  q.push(1);
-  q.push(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
   q.close();
   EXPECT_FALSE(q.push(3));
   EXPECT_EQ(q.pop(), std::optional<int>(1));
@@ -171,7 +171,7 @@ TEST(BoundedQueue, ProducerConsumerStressPreservesAllItems) {
   std::vector<std::thread> threads;
   for (int p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
-      for (int i = p; i < kItems; i += kProducers) q.push(i);
+      for (int i = p; i < kItems; i += kProducers) EXPECT_TRUE(q.push(i));
     });
   }
   std::vector<std::thread> consumers;
@@ -193,10 +193,10 @@ TEST(BoundedQueue, ProducerConsumerStressPreservesAllItems) {
 
 TEST(BoundedQueue, BlockingPushWaitsForSpace) {
   BoundedQueue<int> q(1);
-  q.push(1);
+  ASSERT_TRUE(q.push(1));
   std::atomic<bool> pushed{false};
   std::thread producer([&] {
-    q.push(2);
+    EXPECT_TRUE(q.push(2));
     pushed = true;
   });
   // Give the producer a chance to block, then free a slot.
@@ -217,10 +217,10 @@ TEST(BoundedQueue, TryPushForTimesOutWhenFull) {
 
 TEST(BoundedQueue, TryPushForSucceedsWhenSpaceFrees) {
   BoundedQueue<int> q(1);
-  q.push(1);
+  ASSERT_TRUE(q.push(1));
   std::thread consumer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    q.pop();
+    (void)q.pop();
   });
   EXPECT_TRUE(q.try_push_for(2, std::chrono::seconds(5)));
   consumer.join();
@@ -229,7 +229,7 @@ TEST(BoundedQueue, TryPushForSucceedsWhenSpaceFrees) {
 
 TEST(BoundedQueue, TryPushForReturnsFalsePromptlyWhenClosedDuringWait) {
   BoundedQueue<int> q(1);
-  q.push(1);
+  ASSERT_TRUE(q.push(1));
   std::thread closer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     q.close();
@@ -243,6 +243,66 @@ TEST(BoundedQueue, TryPushForReturnsFalsePromptlyWhenClosedDuringWait) {
   EXPECT_TRUE(q.closed());
 }
 
+TEST(BoundedQueue, TryPushForRacingCloseFromThirdThread) {
+  // Three-way race: a producer blocked in try_push_for on a full queue, a
+  // consumer that frees a slot, and a third thread that closes the queue —
+  // all at once. Whatever interleaving wins, the producer must return (no
+  // hang), and a true return means the item is actually delivered exactly
+  // once (it can be popped or was popped by the consumer), never accepted
+  // into a void.
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<int> consumed_42{0};
+    std::thread consumer([&] {
+      while (auto v = q.pop()) {
+        if (*v == 42) consumed_42++;
+      }
+    });
+    std::thread closer([&] { q.close(); });
+    const bool accepted = q.try_push_for(42, std::chrono::seconds(10));
+    closer.join();
+    consumer.join();
+    if (accepted) {
+      // Accepted before the close won: drain semantics guarantee delivery.
+      EXPECT_EQ(consumed_42.load(), 1) << "accepted item lost (round "
+                                       << round << ")";
+    } else {
+      EXPECT_EQ(consumed_42.load(), 0) << "rejected item delivered (round "
+                                       << round << ")";
+    }
+    EXPECT_TRUE(q.closed());
+  }
+}
+
+TEST(BoundedQueue, PopWakeupOrderDeliversEveryItemToSomeWaiter) {
+  // Wakeup-ordering contract on the pop side: with several consumers parked
+  // in pop(), each push must wake enough waiters that every item is taken
+  // promptly, and close() must wake the rest exactly once each (no consumer
+  // hangs, none observes an item after end-of-stream).
+  constexpr int kConsumers = 4;
+  constexpr int kItems = 1000;
+  BoundedQueue<int> q(2);
+  std::atomic<int> popped{0};
+  std::atomic<int> end_signals{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (q.pop()) popped++;
+      end_signals++;
+      // The end state is sticky: a second pop must also say end-of-stream.
+      EXPECT_FALSE(q.pop().has_value());
+    });
+  }
+  for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), kItems);
+  EXPECT_EQ(end_signals.load(), kConsumers);
+}
+
 TEST(BoundedQueue, TryPopForTimesOutWhenEmpty) {
   BoundedQueue<int> q(2);
   EXPECT_FALSE(q.try_pop_for(std::chrono::milliseconds(10)).has_value());
@@ -253,7 +313,7 @@ TEST(BoundedQueue, TryPopForReceivesLatePush) {
   BoundedQueue<int> q(2);
   std::thread producer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    q.push(42);
+    EXPECT_TRUE(q.push(42));
   });
   const auto v = q.try_pop_for(std::chrono::seconds(5));
   producer.join();
@@ -262,7 +322,7 @@ TEST(BoundedQueue, TryPopForReceivesLatePush) {
 
 TEST(BoundedQueue, TryPopForDrainsBacklogAfterClose) {
   BoundedQueue<int> q(4);
-  q.push(1);
+  ASSERT_TRUE(q.push(1));
   q.close();
   EXPECT_EQ(q.try_pop_for(std::chrono::milliseconds(1)), std::optional<int>(1));
   EXPECT_FALSE(q.try_pop_for(std::chrono::milliseconds(1)).has_value());

@@ -227,8 +227,8 @@ TEST(QueueInstrumentation, NamedQueueExportsDepthAndCounters) {
   // Unique name: the global registry persists across tests in this binary.
   BoundedQueue<int> q(2, "obs_test.instrumented");
   auto& reg = registry();
-  q.push(1);
-  q.push(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
   EXPECT_EQ(reg.gauge("queue.obs_test.instrumented.depth").value(), 2);
   EXPECT_FALSE(q.try_push(3));  // full; try_push does not count as blocked
   (void)q.pop();
@@ -245,7 +245,7 @@ TEST(QueueInstrumentation, NamedQueueExportsDepthAndCounters) {
 TEST(QueueInstrumentation, BlockedPushAndPopAreCounted) {
   BoundedQueue<int> q(1, "obs_test.blocking");
   auto& reg = registry();
-  q.push(1);
+  ASSERT_TRUE(q.push(1));
   std::thread producer([&q] { (void)q.push(2); });  // blocks: queue full
   // Wait for the producer to actually block.
   while (reg.counter("queue.obs_test.blocking.blocked_push").value() == 0) {

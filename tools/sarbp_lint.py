@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Repo lint for the concurrency rules that compilers cannot check.
+
+Rules (names are what `// lint: allow(<rule>)` suppressions refer to):
+
+  order-comment   Every explicit std::memory_order_* argument must carry a
+                  `// order:` justification on the same line or within the
+                  three lines above it. The justification is the reviewable
+                  artifact: it states WHY the chosen ordering is sufficient.
+                  Applies to src/.
+
+  raw-mutex       std::mutex / std::condition_variable and their lock
+                  helpers may be spelled only in
+                  src/common/thread_annotations.h. Everything else uses the
+                  annotated sarbp::Mutex / MutexLock / CondVar wrappers so
+                  Clang's -Wthread-safety analysis sees every acquisition.
+                  Applies to src/.
+
+  sleep-poll      No std::this_thread::sleep_for in src/: waiting for
+                  another thread's state change must use a condition
+                  variable (or a timed queue op), not a poll loop. Pure
+                  pacing sleeps need an explicit suppression explaining why
+                  nothing could notify them.
+
+  queue-result    In src/service, BoundedQueue push/pop family results must
+                  not be discarded — neither as a bare expression statement
+                  nor via a (void) cast. Admission control and the
+                  close/drain protocol live entirely in those return values.
+
+Suppression syntax (same line, or alone on the line directly above):
+
+    // lint: allow(<rule>) -- <rationale>
+
+The rationale is mandatory; a suppression without `--` text is itself a
+finding. Run with --selftest to exercise the rules against embedded
+fixtures.
+
+Exit status: 0 clean, 1 findings, 2 usage/self-test failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from dataclasses import dataclass
+
+ANNOTATION_HEADER = pathlib.Path("src/common/thread_annotations.h")
+
+MEMORY_ORDER_RE = re.compile(r"\bstd::memory_order_[a-z_]+\b")
+ORDER_COMMENT_RE = re.compile(r"//\s*order:")
+ORDER_LOOKBACK = 3   # lines above the statement that may hold the comment
+ORDER_WALK_CAP = 12  # max continuation/comment lines walked upward
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+
+SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
+
+# A queue op whose value is dropped: either a bare expression statement
+# (`q.push(x);` / `tokens_->try_push(...)`) or an explicit (void) cast.
+QUEUE_DISCARD_RE = re.compile(
+    r"(?:^\s*|\(\s*void\s*\)\s*)[A-Za-z_][\w]*(?:\.|->)"
+    r"(?:push|try_push|try_push_for|pop|try_pop|try_pop_for)\s*\("
+)
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)\s*(--\s*\S.*)?")
+
+RULES = ("order-comment", "raw-mutex", "sleep-poll", "queue-result")
+
+
+@dataclass
+class Finding:
+    path: pathlib.Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_strings(line: str) -> str:
+    """Blanks out string/char literals so their contents never match."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
+
+
+def code_part(line: str) -> str:
+    """The line with literals blanked and any // comment removed."""
+    stripped = strip_strings(line)
+    cut = stripped.find("//")
+    return stripped if cut < 0 else stripped[:cut]
+
+
+def order_comment_near(lines: list[str], idx: int) -> bool:
+    """True when a `// order:` comment covers the statement holding line idx.
+
+    Statements span lines and are frequently preceded by (or interleaved
+    with) multi-line comments, so the search walks upward from `idx`
+    through continuation lines (code not ended by `;`, `{`, or `}`) and
+    pure comment lines to the statement's first line, then looks a further
+    ORDER_LOOKBACK lines above it. The walk is capped to keep a distant,
+    unrelated comment from justifying anything.
+    """
+    start = idx
+    for _ in range(ORDER_WALK_CAP):
+        if start == 0:
+            break
+        prev = lines[start - 1]
+        prev_code = code_part(prev).strip()
+        is_comment_only = not prev_code and "//" in prev
+        is_continuation = bool(prev_code) and prev_code[-1] not in ";{}"
+        if is_comment_only or is_continuation:
+            start -= 1
+        else:
+            break
+    return any(
+        ORDER_COMMENT_RE.search(lines[j])
+        for j in range(max(0, start - ORDER_LOOKBACK), idx + 1)
+    )
+
+
+def suppressions_for(lines: list[str], idx: int) -> tuple[set[str], list[Finding] | None]:
+    """Rules suppressed at line index `idx` (same line or the line above)."""
+    allowed: set[str] = set()
+    for probe in (idx, idx - 1):
+        if probe < 0:
+            continue
+        m = ALLOW_RE.search(lines[probe])
+        if not m:
+            continue
+        if not m.group(2):
+            # A suppression with no rationale is reported at its own line.
+            return allowed, [
+                Finding(
+                    pathlib.Path("?"), probe + 1, "bad-suppression",
+                    "lint suppression is missing its `-- rationale` text",
+                )
+            ]
+        allowed.add(m.group(1))
+    return allowed, None
+
+
+def scan_file(path: pathlib.Path, text: str) -> list[Finding]:
+    rel = path
+    in_service = "src/service" in path.as_posix()
+    in_src = path.as_posix().startswith("src/")
+    is_annotation_header = path.as_posix() == ANNOTATION_HEADER.as_posix()
+
+    lines = text.splitlines()
+    findings: list[Finding] = []
+
+    for i, raw in enumerate(lines):
+        code = code_part(raw)
+        allowed, bad = suppressions_for(lines, i)
+        if bad:
+            for f in bad:
+                f.path = rel
+                findings.append(f)
+
+        if in_src and MEMORY_ORDER_RE.search(code):
+            if not order_comment_near(lines, i) and "order-comment" not in allowed:
+                findings.append(Finding(
+                    rel, i + 1, "order-comment",
+                    "explicit memory_order without a `// order:` "
+                    "justification nearby"))
+
+        if in_src and not is_annotation_header and RAW_MUTEX_RE.search(code):
+            if "raw-mutex" not in allowed:
+                findings.append(Finding(
+                    rel, i + 1, "raw-mutex",
+                    "raw std synchronization primitive; use the annotated "
+                    "sarbp::Mutex/MutexLock/CondVar wrappers "
+                    "(src/common/thread_annotations.h)"))
+
+        if in_src and SLEEP_RE.search(code):
+            if "sleep-poll" not in allowed:
+                findings.append(Finding(
+                    rel, i + 1, "sleep-poll",
+                    "sleep_for in src/: wait on a condition variable "
+                    "instead of polling (suppress only for pure pacing)"))
+
+        if in_service and QUEUE_DISCARD_RE.search(code):
+            if "queue-result" not in allowed:
+                findings.append(Finding(
+                    rel, i + 1, "queue-result",
+                    "BoundedQueue result discarded in src/service; the "
+                    "admission/close protocol lives in that return value"))
+
+    return findings
+
+
+def iter_sources(root: pathlib.Path) -> list[pathlib.Path]:
+    out: list[pathlib.Path] = []
+    for sub in ("src",):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".h", ".hpp", ".cpp", ".cc", ".cxx"):
+                out.append(path.relative_to(root))
+    return out
+
+
+def run(root: pathlib.Path) -> int:
+    findings: list[Finding] = []
+    for rel in iter_sources(root):
+        text = (root / rel).read_text(encoding="utf-8", errors="replace")
+        findings.extend(scan_file(rel, text))
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"sarbp_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"sarbp_lint: clean ({len(iter_sources(root))} files)")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Self-test fixtures: (virtual path, source, expected rule names).
+SELFTEST_CASES = [
+    ("src/a.cpp",
+     "x.load(std::memory_order_relaxed);\n",
+     ["order-comment"]),
+    ("src/a.cpp",
+     "// order: relaxed — pure counter\nx.load(std::memory_order_relaxed);\n",
+     []),
+    ("src/a.cpp",
+     "// order: above\n//\n//\nx.load(std::memory_order_acquire);\n",
+     []),  # within 3-line lookback
+    ("src/a.cpp",
+     "y = 1;\n// order: spans the statement\nwhile (a &&\n"
+     "       x.compare_exchange_weak(a, b, std::memory_order_relaxed)) {\n}\n",
+     []),  # continuation lines walk back to the statement head
+    ("src/a.cpp",
+     "foo();\nbar();\nbaz();\nqux();\nx.load(std::memory_order_acquire);\n",
+     ["order-comment"]),  # unrelated code above justifies nothing
+    ("src/a.cpp",
+     'printf("std::memory_order_relaxed");\n',
+     []),  # literals never match
+    ("src/a.cpp",
+     "x.load(std::memory_order_relaxed);  "
+     "// lint: allow(order-comment) -- test\n",
+     []),
+    ("src/a.cpp",
+     "x.load(std::memory_order_relaxed);  // lint: allow(order-comment)\n",
+     ["bad-suppression", "order-comment"]),
+    ("src/b.cpp", "std::mutex m;\n", ["raw-mutex"]),
+    ("src/b.cpp", "std::scoped_lock lock(m);\n", ["raw-mutex"]),
+    ("src/common/thread_annotations.h", "std::mutex m_;\n", []),
+    ("tests/b.cpp", "std::mutex m;\n", []),  # tests are out of scope
+    ("src/c.cpp", "std::this_thread::sleep_for(1ms);\n", ["sleep-poll"]),
+    ("src/c.cpp",
+     "// lint: allow(sleep-poll) -- pacing\n"
+     "std::this_thread::sleep_for(1ms);\n",
+     []),
+    ("src/service/s.cpp", "queue_.push(std::move(x));\n", ["queue-result"]),
+    ("src/service/s.cpp", "(void)queue_.try_pop();\n", ["queue-result"]),
+    ("src/service/s.cpp", "if (!queue_.push(x)) return;\n", []),
+    ("src/service/s.cpp", "const bool ok = q.try_push_for(x, grace);\n", []),
+    ("src/other/s.cpp", "queue_.push(std::move(x));\n", []),
+]
+
+
+def selftest() -> int:
+    failures = 0
+    for idx, (vpath, source, expected) in enumerate(SELFTEST_CASES):
+        got = [f.rule for f in scan_file(pathlib.Path(vpath), source)]
+        if got != expected:
+            failures += 1
+            print(f"selftest case {idx}: expected {expected}, got {got}",
+                  file=sys.stderr)
+    if failures:
+        print(f"sarbp_lint selftest: {failures} failure(s)", file=sys.stderr)
+        return 2
+    print(f"sarbp_lint selftest: {len(SELFTEST_CASES)} cases ok")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the embedded rule fixtures and exit")
+    ns = parser.parse_args()
+    if ns.selftest:
+        return selftest()
+    return run(pathlib.Path(ns.root).resolve())
+
+
+if __name__ == "__main__":
+    sys.exit(main())
