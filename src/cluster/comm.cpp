@@ -2,57 +2,94 @@
 
 #include <exception>
 #include <thread>
+#include <utility>
 
-#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace sarbp::cluster {
 
-/// Shared state of one cluster run: a mailbox per rank plus a barrier.
-class Cluster {
- public:
-  explicit Cluster(int ranks)
-      : boxes_(static_cast<std::size_t>(ranks)),
-        barrier_(ranks) {}
+Cluster::Cluster(int endpoints)
+    : boxes_(static_cast<std::size_t>(endpoints)),
+      barrier_width_(endpoints) {
+  ensure(endpoints >= 1, "Cluster: need at least one endpoint");
+}
 
-  void deliver(int dest, int source, int tag, std::vector<std::byte> payload) {
-    Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
-    {
-      MutexLock lock(box.mutex);
-      box.messages[{source, tag}].push_back(std::move(payload));
-    }
-    // Mailboxes outlive the cluster threads (run_cluster joins before the
-    // Cluster dies), so notifying outside the lock is safe here and keeps
-    // the receiver from waking straight into a held mutex.
+void Cluster::deliver(int dest, int source, int tag,
+                      std::vector<std::byte> payload) {
+  Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
+  {
+    MutexLock lock(box.mutex);
+    box.messages[{source, tag}].push_back(std::move(payload));
+  }
+  // Mailboxes outlive the cluster threads (owners join before the Cluster
+  // dies), so notifying outside the lock is safe here and keeps the
+  // receiver from waking straight into a held mutex.
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> Cluster::take(int dest, int source, int tag) {
+  Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
+  MutexLock lock(box.mutex);
+  const auto key = std::make_pair(source, tag);
+  auto it = box.messages.find(key);
+  while (it == box.messages.end() || it->second.empty()) {
+    // Checked only when the mailbox has nothing for us: messages delivered
+    // before the abort still drain normally (the gather path relies on
+    // that); only a wait that could never be satisfied turns into a throw.
+    if (aborted()) throw aborted_error();
+    box.cv.wait(lock);
+    it = box.messages.find(key);
+  }
+  std::vector<std::byte> payload = std::move(it->second.front());
+  it->second.pop_front();
+  return payload;
+}
+
+void Cluster::wait_barrier() {
+  MutexLock lock(barrier_mutex_);
+  if (aborted()) throw aborted_error();
+  const std::uint64_t gen = barrier_gen_;
+  if (++barrier_arrived_ == barrier_width_) {
+    barrier_arrived_ = 0;
+    ++barrier_gen_;
+    lock.unlock();
+    barrier_cv_.notify_all();
+    return;
+  }
+  while (barrier_gen_ == gen && !aborted()) barrier_cv_.wait(lock);
+  if (barrier_gen_ == gen) throw aborted_error();
+}
+
+void Cluster::abort(const std::string& why) {
+  {
+    MutexLock lock(reason_mutex_);
+    if (abort_reason_.empty()) abort_reason_ = why;
+  }
+  // order: release — pairs with the acquire loads in aborted(); a waiter
+  // that observes the flag also observes the reason stored above.
+  aborted_.store(true, std::memory_order_release);
+  // Lock/unlock each waiter's mutex before notifying: a blocked thread is
+  // then either before its flag check (and will see it) or already parked
+  // in wait (and gets the notify). Notifying without the lock could land
+  // between a waiter's check and its wait — the classic lost wakeup.
+  for (auto& box : boxes_) {
+    { MutexLock lock(box.mutex); }
     box.cv.notify_all();
   }
+  { MutexLock lock(barrier_mutex_); }
+  barrier_cv_.notify_all();
+}
 
-  std::vector<std::byte> take(int dest, int source, int tag) {
-    Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
-    MutexLock lock(box.mutex);
-    const auto key = std::make_pair(source, tag);
-    auto it = box.messages.find(key);
-    while (it == box.messages.end() || it->second.empty()) {
-      box.cv.wait(lock);
-      it = box.messages.find(key);
-    }
-    std::vector<std::byte> payload = std::move(it->second.front());
-    it->second.pop_front();
-    return payload;
-  }
+std::string Cluster::abort_reason() const {
+  MutexLock lock(reason_mutex_);
+  return abort_reason_;
+}
 
-  void wait_barrier() { barrier_.arrive_and_wait(); }
-
- private:
-  struct Mailbox {
-    Mutex mutex;
-    CondVar cv;
-    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> messages
-        SARBP_GUARDED_BY(mutex);
-  };
-  std::vector<Mailbox> boxes_;
-  std::barrier<> barrier_;
-};
+ClusterAborted Cluster::aborted_error() const {
+  std::string why = abort_reason();
+  if (why.empty()) why = "cluster aborted";
+  return ClusterAborted(why);
+}
 
 void Communicator::send(int dest, int tag, std::vector<std::byte> payload) {
   ensure(dest >= 0 && dest < size_, "Communicator::send: bad destination");
@@ -71,6 +108,20 @@ std::vector<std::byte> Communicator::recv(int source, int tag) {
 
 void Communicator::barrier() { cluster_->wait_barrier(); }
 
+namespace {
+
+bool is_cluster_aborted(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const ClusterAborted&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
 void run_cluster(int ranks,
                  const std::function<void(Communicator&)>& program) {
   ensure(ranks >= 1, "run_cluster: need at least one rank");
@@ -84,18 +135,24 @@ void run_cluster(int ranks,
       try {
         program(comm);
       } catch (...) {
-        // Like MPI, an uncaught rank error is fatal to the whole job; the
-        // exception is rethrown to the caller after join. A rank that dies
-        // while peers wait on it would deadlock them — programs must not
-        // throw between matched communication calls.
+        // Like MPI_Abort: an uncaught rank error poisons the cluster, so
+        // peers blocked in recv()/barrier() on this dead rank unwind with
+        // ClusterAborted instead of hanging forever.
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        cluster.abort("rank " + std::to_string(r) + " failed");
       }
     });
   }
   for (auto& t : threads) t.join();
+  // Rethrow the root cause: a rank's own error beats the secondary
+  // ClusterAborted unwinds it triggered in its peers.
+  std::exception_ptr first;
   for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (!e) continue;
+    if (!first) first = e;
+    if (!is_cluster_aborted(e)) std::rethrow_exception(e);
   }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace sarbp::cluster

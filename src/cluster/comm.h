@@ -7,9 +7,16 @@
 // multi-node pipeline run unchanged on top of this; wire time is modeled
 // separately (torus_model.h) exactly as the paper's own Table 5 projection
 // does.
+//
+// Failure model: a rank that throws aborts the whole cluster. The abort
+// flag wakes every peer blocked in recv() or barrier() with a
+// ClusterAborted exception instead of leaving them wedged on a mailbox
+// that will never be filled — the MPI_Abort analogue. run_cluster (and
+// the ShardCluster service substrate, shard.h) rethrows the root-cause
+// exception, not the secondary ClusterAborted unwinds it triggered.
 #pragma once
 
-#include <barrier>
+#include <atomic>
 #include <cstddef>
 #include <cstring>
 #include <deque>
@@ -17,15 +24,86 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace sarbp::cluster {
 
 class Cluster;
+class ShardCluster;
 
-/// Per-rank endpoint. Valid only inside run_cluster's program callback.
+/// Thrown out of recv()/barrier() when the cluster was aborted (a peer
+/// rank died, or an owner called Cluster::abort). Catching it inside a
+/// rank program is almost always wrong: the cluster is already poisoned,
+/// and the root cause is what the caller of run_cluster sees.
+class ClusterAborted : public std::runtime_error {
+ public:
+  explicit ClusterAborted(const std::string& why) : std::runtime_error(why) {}
+};
+
+/// Shared state of one cluster: a mailbox per endpoint, an abortable
+/// barrier over all endpoints, and the abort latch. Exposed (rather than
+/// hidden in comm.cpp) so long-lived owners like ShardCluster can build on
+/// the same mailboxes; rank programs only ever see Communicator.
+class Cluster {
+ public:
+  explicit Cluster(int endpoints);
+
+  void deliver(int dest, int source, int tag, std::vector<std::byte> payload);
+
+  /// Blocks until a message keyed (source, tag) reaches `dest`'s mailbox.
+  /// Messages already delivered are handed out even after an abort (the
+  /// drain case); an empty mailbox plus the abort flag throws
+  /// ClusterAborted — the fix for the rank-failure hang.
+  std::vector<std::byte> take(int dest, int source, int tag);
+
+  /// Barrier over all endpoints. Throws ClusterAborted for every waiter
+  /// (and every later arrival) once the cluster is aborted.
+  void wait_barrier();
+
+  /// Poisons the cluster: wakes every blocked take()/wait_barrier() with
+  /// ClusterAborted. The first caller's `why` becomes the recorded reason;
+  /// later calls are no-ops. Safe from any thread.
+  void abort(const std::string& why);
+
+  [[nodiscard]] bool aborted() const {
+    // order: acquire — pairs with abort()'s release store; an observer of
+    // the flag also observes the reason written before it.
+    return aborted_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::string abort_reason() const;
+
+ private:
+  struct Mailbox {
+    Mutex mutex;
+    CondVar cv;
+    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> messages
+        SARBP_GUARDED_BY(mutex);
+  };
+
+  [[nodiscard]] ClusterAborted aborted_error() const;
+
+  std::vector<Mailbox> boxes_;
+
+  // Abortable generation-counting barrier (std::barrier cannot be woken
+  // early, which is exactly the hang this replaces).
+  Mutex barrier_mutex_;
+  CondVar barrier_cv_;
+  int barrier_arrived_ SARBP_GUARDED_BY(barrier_mutex_) = 0;
+  std::uint64_t barrier_gen_ SARBP_GUARDED_BY(barrier_mutex_) = 0;
+  const int barrier_width_;
+
+  std::atomic<bool> aborted_{false};
+  mutable Mutex reason_mutex_;
+  std::string abort_reason_ SARBP_GUARDED_BY(reason_mutex_);
+};
+
+/// Per-rank endpoint. Valid only while its Cluster is alive (inside
+/// run_cluster's program callback, or for a ShardCluster's lifetime).
 class Communicator {
  public:
   [[nodiscard]] int rank() const { return rank_; }
@@ -34,7 +112,8 @@ class Communicator {
   /// Point-to-point, non-blocking enqueue (buffered send).
   void send(int dest, int tag, std::vector<std::byte> payload);
 
-  /// Blocks until a message from `source` with `tag` arrives.
+  /// Blocks until a message from `source` with `tag` arrives. Throws
+  /// ClusterAborted once the cluster is aborted and the mailbox is empty.
   std::vector<std::byte> recv(int source, int tag);
 
   /// Synchronizes every rank of the cluster.
@@ -73,6 +152,7 @@ class Communicator {
 
  private:
   friend class Cluster;
+  friend class ShardCluster;
   friend void run_cluster(int, const std::function<void(Communicator&)>&);
   Communicator(Cluster& cluster, int rank, int size)
       : cluster_(&cluster), rank_(rank), size_(size) {}
@@ -82,9 +162,10 @@ class Communicator {
   int size_;
 };
 
-/// Runs `program` on `ranks` ranks (one thread each) and joins them.
-/// Exceptions thrown by any rank are rethrown (first one wins) after all
-/// ranks finished or aborted.
+/// Runs `program` on `ranks` ranks (one thread each) and joins them. A
+/// throwing rank aborts the cluster — peers blocked in recv()/barrier()
+/// unwind with ClusterAborted instead of hanging — and the root-cause
+/// exception (the first non-ClusterAborted one) is rethrown after join.
 void run_cluster(int ranks, const std::function<void(Communicator&)>& program);
 
 }  // namespace sarbp::cluster

@@ -51,6 +51,10 @@ Grid2D<CFloat> distributed_backprojection(int ranks,
     }
     Timer scatter_timer;
     broadcast(comm, shape, 0);
+    // An empty batch forms an all-zero image. Every rank returns here
+    // uniformly (no further communication): a zero-pulse cube partitions
+    // as one part ({1,1,1}), which cannot match ranks > 1.
+    if (shape[0].num_pulses == 0) return;
     broadcast(comm, meta, 0);
     broadcast(comm, samples, 0);
     if (comm.rank() == 0) {

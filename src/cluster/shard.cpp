@@ -1,0 +1,71 @@
+#include "cluster/shard.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace sarbp::cluster {
+
+ShardCluster::ShardCluster(int ranks, Program program)
+    : ranks_(ranks),
+      cluster_(ranks + 1),
+      frontend_(cluster_, ranks, ranks + 1) {
+  ensure(ranks >= 1, "ShardCluster: need at least one rank");
+  ensure(program != nullptr, "ShardCluster: null worker program");
+  threads_.reserve(static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) {
+    threads_.emplace_back([this, r, program] {
+      Communicator comm(cluster_, r, ranks_ + 1);
+      try {
+        program(comm);
+      } catch (const ClusterAborted&) {
+        // Secondary unwind of a peer's failure; the root cause is already
+        // recorded by the rank that threw it.
+      } catch (const std::exception& e) {
+        record_error(e.what());
+        cluster_.abort("shard rank " + std::to_string(r) +
+                       " failed: " + e.what());
+      } catch (...) {
+        record_error("unknown error");
+        cluster_.abort("shard rank " + std::to_string(r) + " failed");
+      }
+    });
+  }
+}
+
+ShardCluster::~ShardCluster() {
+  // If the owner forgot to shut the ranks down, poisoning the cluster is
+  // the only way join() can complete.
+  if (!cluster_.aborted()) {
+    bool joined;
+    {
+      MutexLock lock(error_mutex_);
+      joined = joined_;
+    }
+    if (!joined) cluster_.abort("ShardCluster destroyed");
+  }
+  join();
+}
+
+std::string ShardCluster::first_error() const {
+  MutexLock lock(error_mutex_);
+  return first_error_;
+}
+
+void ShardCluster::join() {
+  {
+    MutexLock lock(error_mutex_);
+    if (joined_) return;
+    joined_ = true;
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ShardCluster::record_error(const std::string& message) {
+  MutexLock lock(error_mutex_);
+  if (first_error_.empty()) first_error_ = message;
+}
+
+}  // namespace sarbp::cluster

@@ -27,26 +27,30 @@ TileExecutor::TileExecutor(ExecOptions options)
       num_workers_(resolve_workers(options_.workers)),
       inbox_(std::max<std::size_t>(std::size_t{64},
                                    static_cast<std::size_t>(num_workers_) * 4),
-             "exec.inbox", metrics_) {
+             // c_str of a full-expression temporary: the queue ctor only
+             // reads the name, it does not retain it.
+             (options_.metric_prefix + "exec.inbox").c_str(), metrics_) {
   ensure(options_.deque_capacity >= 2, "TileExecutor: deque_capacity too small");
   if constexpr (obs::kEnabled) {
-    tasks_run_ = &metrics_->counter("exec.tasks.run");
-    tasks_stolen_ = &metrics_->counter("exec.tasks.stolen");
-    tasks_skipped_ = &metrics_->counter("exec.tasks.skipped");
-    groups_submitted_ = &metrics_->counter("exec.groups.submitted");
-    groups_completed_ = &metrics_->counter("exec.groups.completed");
-    groups_aborted_ = &metrics_->counter("exec.groups.aborted");
-    steal_fail_ = &metrics_->counter("exec.steal.fail");
-    group_wall_s_ = &metrics_->histogram("exec.group.wall_s");
-    group_efficiency_ = &metrics_->histogram("exec.group.parallel_efficiency");
-    metrics_->gauge("exec.workers").set(num_workers_);
+    const std::string& pre = options_.metric_prefix;
+    tasks_run_ = &metrics_->counter(pre + "exec.tasks.run");
+    tasks_stolen_ = &metrics_->counter(pre + "exec.tasks.stolen");
+    tasks_skipped_ = &metrics_->counter(pre + "exec.tasks.skipped");
+    groups_submitted_ = &metrics_->counter(pre + "exec.groups.submitted");
+    groups_completed_ = &metrics_->counter(pre + "exec.groups.completed");
+    groups_aborted_ = &metrics_->counter(pre + "exec.groups.aborted");
+    steal_fail_ = &metrics_->counter(pre + "exec.steal.fail");
+    group_wall_s_ = &metrics_->histogram(pre + "exec.group.wall_s");
+    group_efficiency_ =
+        &metrics_->histogram(pre + "exec.group.parallel_efficiency");
+    metrics_->gauge(pre + "exec.workers").set(num_workers_);
   }
   states_.reserve(static_cast<std::size_t>(num_workers_));
   for (int w = 0; w < num_workers_; ++w) {
     auto state = std::make_unique<WorkerState>(options_.deque_capacity);
     if constexpr (obs::kEnabled) {
-      state->depth_gauge =
-          &metrics_->gauge("exec.deque.depth." + std::to_string(w));
+      state->depth_gauge = &metrics_->gauge(
+          options_.metric_prefix + "exec.deque.depth." + std::to_string(w));
     }
     states_.push_back(std::move(state));
   }

@@ -57,6 +57,11 @@ struct ExecOptions {
   /// Metrics sink; null selects the process-global obs::registry(). Must
   /// outlive the executor.
   obs::Registry* metrics = nullptr;
+  /// Prepended to every metric name this executor registers ("exec.*" and
+  /// the inbox queue gauges). The sharded service gives each per-shard
+  /// executor a distinct prefix ("shard.<k>.") so their counters do not
+  /// collapse into one series in a shared registry.
+  std::string metric_prefix;
   /// Pull-model job source for pool owners (the job service). Called by an
   /// idle worker; may block up to ~`budget` waiting for work. Returns the
   /// next group to inject (null when none is ready) and sets *end once no

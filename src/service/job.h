@@ -123,6 +123,11 @@ class JobHandle {
 
   [[nodiscard]] Priority priority() const { return request_.priority; }
   [[nodiscard]] const std::string& tenant() const { return request_.tenant; }
+  /// The request is immutable after submission, so exposing it is safe;
+  /// the scheduler reads its geometry for cost-based fair queueing.
+  [[nodiscard]] const ImageFormationRequest& request() const {
+    return request_;
+  }
 
   /// Requests cancellation. A QUEUED job transitions to kCancelled
   /// immediately; a RUNNING job transitions at the worker's next
@@ -173,6 +178,7 @@ class JobHandle {
 
  private:
   friend class ImageFormationService;
+  friend class ShardRouter;  // claim-side + gather-side job resolution
 
   explicit JobHandle(ImageFormationRequest req) : request_(std::move(req)) {}
 
@@ -226,6 +232,13 @@ class JobHandle {
       metrics_->histogram(std::string("service.job.latency_s.") +
                           priority_name(request_.priority))
           .record(result_.latency_seconds);
+      if (!request_.tenant.empty()) {
+        metrics_->counter("tenant." + request_.tenant + ".jobs." +
+                          job_state_name(terminal))
+            .add();
+        metrics_->histogram("tenant." + request_.tenant + ".latency_s")
+            .record(result_.latency_seconds);
+      }
     }
     // order: release — publishes result_ to lock-free state() readers (see
     // state()); waiters under the lock are woken below.

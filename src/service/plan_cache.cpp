@@ -173,7 +173,8 @@ exec::GroupPtr make_plan_replay_group(
     std::shared_ptr<const sim::PhaseHistory> history, int parallelism,
     Index tile_tasks, std::shared_ptr<bp::SoaTile> tile,
     std::function<bool()> checkpoint,
-    std::function<void(exec::TaskGroup&)> on_complete) {
+    std::function<void(exec::TaskGroup&)> on_complete,
+    Index pulse_begin, Index pulse_end) {
   ensure(plan != nullptr && history != nullptr && tile != nullptr,
          "make_plan_replay_group: null plan/history/tile");
   ensure(history->num_pulses() == plan->num_pulses(),
@@ -182,6 +183,10 @@ exec::GroupPtr make_plan_replay_group(
              tile->height() == plan->key.region.height,
          "make_plan_replay_group: tile/region shape mismatch");
   ensure(parallelism >= 1, "make_plan_replay_group: parallelism >= 1");
+  if (pulse_end < 0) pulse_end = plan->num_pulses();
+  ensure(pulse_begin >= 0 && pulse_begin <= pulse_end &&
+             pulse_end <= plan->num_pulses(),
+         "make_plan_replay_group: bad pulse range");
 
   const Index nblocks = static_cast<Index>(plan->blocks.size());
   // ~2 tasks per worker so thieves always find a remainder to take, but
@@ -196,9 +201,8 @@ exec::GroupPtr make_plan_replay_group(
   for (Index ti = 0; ti < fanout; ++ti) {
     const Index b0 = bp::split_begin(nblocks, fanout, ti);
     const Index b1 = bp::split_begin(nblocks, fanout, ti + 1);
-    tasks.push_back([plan, history, tile, checkpoint, b0, b1](
-                        int, exec::TaskGroup& group) {
-      const Index pulses = history->num_pulses();
+    tasks.push_back([plan, history, tile, checkpoint, b0, b1, pulse_begin,
+                     pulse_end](int, exec::TaskGroup& group) {
       const Index samples = history->samples_per_pulse();
       for (Index b = b0; b < b1; ++b) {
         // Same granularity as execute_plan: one cancellation poll per
@@ -210,7 +214,7 @@ exec::GroupPtr make_plan_replay_group(
         const auto& block = plan->blocks[static_cast<std::size_t>(b)];
         const Index bx = block.x0 - plan->key.region.x0;
         const Index by = block.y0 - plan->key.region.y0;
-        for (Index p = 0; p < pulses; ++p) {
+        for (Index p = pulse_begin; p < pulse_end; ++p) {
           const bool x_inner =
               plan->pulse_order[static_cast<std::size_t>(p)] ==
               geometry::LoopOrder::kXInner;

@@ -114,12 +114,19 @@ bool execute_plan(const FormationPlan& plan, const sim::PhaseHistory& history,
 /// `parallelism`, never more than the block count). `on_complete` runs on
 /// the worker that retires the last task — aborted groups must discard the
 /// partially-swept tile there.
+///
+/// `[pulse_begin, pulse_end)` restricts the replay to a pulse range of the
+/// plan (pulse_end == -1 means all pulses) — the pulse-scatter unit of the
+/// sharded service: each shard replays its range of the same full-region
+/// plan and the gather sums the partial tiles (shard-index order, the
+/// documented reduction-order deviation from the single-node path).
 [[nodiscard]] exec::GroupPtr make_plan_replay_group(
     std::shared_ptr<const FormationPlan> plan,
     std::shared_ptr<const sim::PhaseHistory> history, int parallelism,
     Index tile_tasks, std::shared_ptr<bp::SoaTile> tile,
     std::function<bool()> checkpoint,
-    std::function<void(exec::TaskGroup&)> on_complete);
+    std::function<void(exec::TaskGroup&)> on_complete,
+    Index pulse_begin = 0, Index pulse_end = -1);
 
 /// Thread-safe LRU cache of formation plans.
 ///

@@ -14,49 +14,72 @@ ImageFormationService::ImageFormationService(ServiceConfig config)
       metrics_(config_.metrics != nullptr ? config_.metrics
                                           : &obs::registry()),
       plan_cache_(config_.plan_cache_capacity, metrics_),
-      // Tokens never outnumber pending jobs, so max_pending bounds both.
-      tokens_(config_.max_pending > 0 ? config_.max_pending : 1,
-              "service.tokens", metrics_),
       gate_open_(!config_.start_paused) {
   ensure(config_.workers > 0, "ImageFormationService: workers must be positive");
   ensure(config_.max_pending > 0,
          "ImageFormationService: max_pending must be positive");
-  static constexpr const char* kQueueNames[kNumPriorities] = {
-      "service.ready.high", "service.ready.normal", "service.ready.low"};
-  for (int p = 0; p < kNumPriorities; ++p) {
-    ready_[static_cast<std::size_t>(p)] = std::make_unique<BoundedQueue<JobPtr>>(
-        config_.max_pending, kQueueNames[p], metrics_);
-  }
+
+  FairSchedulerConfig sched_config;
+  sched_config.max_pending = config_.max_pending;
+  sched_config.default_policy = config_.default_tenant_policy;
+  sched_config.tenants = config_.tenant_policies;
+  sched_config.metrics = metrics_;
+  sched_ = std::make_unique<FairScheduler>(std::move(sched_config));
+
   if constexpr (obs::kEnabled) {
     submitted_ = &metrics_->counter("service.jobs.submitted");
-    rejected_full_ = &metrics_->counter("service.rejected.queue_full");
-    rejected_shutdown_ = &metrics_->counter("service.rejected.shutting_down");
-    rejected_invalid_ = &metrics_->counter("service.rejected.invalid_request");
-    pending_gauge_ = &metrics_->gauge("service.pending");
     busy_gauge_ = &metrics_->gauge("service.workers.busy");
     queue_s_ = &metrics_->histogram("service.job.queue_s");
     setup_s_ = &metrics_->histogram("service.job.setup_s");
     compute_s_ = &metrics_->histogram("service.job.compute_s");
   }
-  exec::ExecOptions exec_options;
-  exec_options.workers = config_.workers;
-  exec_options.steal = config_.steal;
-  exec_options.metrics = metrics_;
-  exec_options.source = [this](int worker, std::chrono::microseconds budget,
-                               bool* end) {
-    return next_group(worker, budget, end);
-  };
-  exec_ = std::make_unique<exec::TileExecutor>(std::move(exec_options));
+
+  if (config_.shards >= 2) {
+    ShardRouterConfig router_config;
+    router_config.shards = config_.shards;
+    router_config.shard_workers = config_.shard_workers;
+    router_config.steal = config_.steal;
+    router_config.tile_tasks = config_.tile_tasks;
+    router_config.small_job_pixels = config_.shard_small_pixels;
+    router_config.strategy = config_.shard_strategy;
+    router_config.gather_capacity = config_.max_pending;
+    router_config.inter_block_hook = config_.inter_block_hook;
+    router_config.shard_fault_hook = config_.shard_fault_hook;
+    router_config.metrics = metrics_;
+    router_config.plan_cache = &plan_cache_;
+    router_ = std::make_unique<ShardRouter>(std::move(router_config));
+    route_thread_ = std::thread([this] { route_loop(); });
+  } else {
+    exec::ExecOptions exec_options;
+    exec_options.workers = config_.workers;
+    exec_options.steal = config_.steal;
+    exec_options.metrics = metrics_;
+    exec_options.source = [this](int worker, std::chrono::microseconds budget,
+                                 bool* end) {
+      return next_group(worker, budget, end);
+    };
+    exec_ = std::make_unique<exec::TileExecutor>(std::move(exec_options));
+  }
 }
 
 ImageFormationService::~ImageFormationService() { drain(); }
 
+SubmitOutcome ImageFormationService::reject(RejectReason reason) {
+  if constexpr (obs::kEnabled) {
+    // Cold path; the by-name lookup keeps one registration site per
+    // reason and the names mechanically tied to reject_reason_name.
+    metrics_->counter(std::string("service.rejected.") +
+                      reject_reason_name(reason))
+        .add();
+  }
+  return {nullptr, reason};
+}
+
 SubmitOutcome ImageFormationService::submit(ImageFormationRequest request) {
   // order: acquire — pairs with drain()'s release store; a submitter that
-  // observes the flag also observes the closed queues behind it.
+  // observes the flag also observes the closed scheduler behind it.
   if (draining_.load(std::memory_order_acquire)) {
-    if (rejected_shutdown_) rejected_shutdown_->add();
-    return {nullptr, RejectReason::kShuttingDown};
+    return reject(RejectReason::kShuttingDown);
   }
   const Region region = request.effective_region();
   if (request.pulses == nullptr || request.pulses->num_pulses() <= 0 ||
@@ -64,71 +87,26 @@ SubmitOutcome ImageFormationService::submit(ImageFormationRequest request) {
       region.x0 < 0 || region.y0 < 0 ||
       region.x0 + region.width > request.grid.width() ||
       region.y0 + region.height > request.grid.height()) {
-    if (rejected_invalid_) rejected_invalid_->add();
-    return {nullptr, RejectReason::kInvalidRequest};
+    return reject(RejectReason::kInvalidRequest);
   }
 
-  const int pri = static_cast<int>(request.priority);
   auto job = JobPtr(new JobHandle(std::move(request)));
   job->submitted_ = std::chrono::steady_clock::now();
   job->metrics_ = metrics_;
   job->completion_seq_ = &completion_seq_;
 
-  // Admission: the ready queue for this class holds at most max_pending
-  // jobs; a full pending set makes this try_push_for wait out the grace
-  // period and then fail — the reject-with-reason overload behaviour.
-  // order: relaxed on pending_ throughout — an advisory admission counter:
-  // only its atomically-updated value matters, never its ordering against
-  // other state (jobs are published through the ready queues' mutexes).
-  // PR 5 audit; was acq_rel, TSan-clean relaxed.
-  if (std::size_t n = pending_.fetch_add(1, std::memory_order_relaxed);
-      n >= config_.max_pending) {
-    // order: relaxed — advisory admission counter (see note above).
-    pending_.fetch_sub(1, std::memory_order_relaxed);
-    if (config_.admission_grace.count() == 0 ||
-        !ready_[static_cast<std::size_t>(pri)]->try_push_for(
-            job, config_.admission_grace)) {
-      if (rejected_full_) rejected_full_->add();
-      return {nullptr, RejectReason::kQueueFull};
-    }
-    // order: relaxed — advisory admission counter (see note above).
-    pending_.fetch_add(1, std::memory_order_relaxed);
-  } else if (!ready_[static_cast<std::size_t>(pri)]->try_push_for(
-                 job, config_.admission_grace)) {
-    // order: relaxed — advisory admission counter (see note above).
-    pending_.fetch_sub(1, std::memory_order_relaxed);
-    const bool closed = ready_[static_cast<std::size_t>(pri)]->closed();
-    if (closed) {
-      if (rejected_shutdown_) rejected_shutdown_->add();
-      return {nullptr, RejectReason::kShuttingDown};
-    }
-    if (rejected_full_) rejected_full_->add();
-    return {nullptr, RejectReason::kQueueFull};
+  switch (sched_->submit(job, config_.admission_grace)) {
+    case AdmitResult::kAdmitted:
+      if (submitted_) submitted_->add();
+      return {std::move(job), RejectReason::kNone};
+    case AdmitResult::kQueueFull:
+      return reject(RejectReason::kQueueFull);
+    case AdmitResult::kQuotaExceeded:
+      return reject(RejectReason::kQuotaExceeded);
+    case AdmitResult::kClosed:
+      return reject(RejectReason::kShuttingDown);
   }
-  if (pending_gauge_) {
-    // order: relaxed — advisory admission counter (see note above).
-    pending_gauge_->set(static_cast<std::int64_t>(
-        pending_.load(std::memory_order_relaxed)));
-  }
-
-  if (!tokens_.push(pri)) {
-    // drain() closed the token queue between our admission check and here.
-    // The job sits in a ready queue no worker will be told about — resolve
-    // the handle so nobody waits forever.
-    // order: relaxed — see the admission-counter note above.
-    pending_.fetch_sub(1, std::memory_order_relaxed);
-    {
-      MutexLock lock(job->mutex_);
-      if (!is_terminal(job->state())) {
-        job->result_.error = "service shutting down";
-        job->finish_locked(JobState::kCancelled);
-      }
-    }
-    if (rejected_shutdown_) rejected_shutdown_->add();
-    return {nullptr, RejectReason::kShuttingDown};
-  }
-  if (submitted_) submitted_->add();
-  return {std::move(job), RejectReason::kNone};
+  return reject(RejectReason::kShuttingDown);  // unreachable
 }
 
 void ImageFormationService::resume() {
@@ -143,9 +121,10 @@ void ImageFormationService::drain() {
   // order: release — pairs with submit()'s acquire load (see submit()).
   draining_.store(true, std::memory_order_release);
   resume();  // paused workers must run to drain the backlog
-  tokens_.close();
+  sched_->close();
   if (exec_) exec_->drain();
-  for (auto& queue : ready_) queue->close();
+  if (route_thread_.joinable()) route_thread_.join();
+  if (router_) router_->shutdown();
 }
 
 void ImageFormationService::wait_gate() {
@@ -156,39 +135,23 @@ void ImageFormationService::wait_gate() {
 exec::GroupPtr ImageFormationService::next_group(
     int /*worker*/, std::chrono::microseconds budget, bool* end) {
   wait_gate();
-  // One token == one admitted job somewhere in the ready queues. After
-  // close(), the pops hand out the remaining backlog before signalling
-  // end-of-stream — the drain guarantee.
-  auto token = budget.count() > 0 ? tokens_.try_pop_for(budget)
-                                  : tokens_.try_pop();
-  if (!token.has_value()) {
-    if (tokens_.closed() && tokens_.size() == 0) *end = true;
-    return nullptr;
-  }
-  JobPtr job = take_highest_priority();
-  if (job == nullptr) return nullptr;  // defensive; the invariant says never
-  // order: relaxed — advisory admission counter (see submit()).
-  pending_.fetch_sub(1, std::memory_order_relaxed);
-  if (pending_gauge_) {
-    pending_gauge_->set(static_cast<std::int64_t>(
-        pending_.load(std::memory_order_relaxed)));
-  }
+  JobPtr job = sched_->claim(budget, end);
+  if (job == nullptr) return nullptr;
   return build_job_group(job);
 }
 
-ImageFormationService::JobPtr ImageFormationService::take_highest_priority() {
-  // A token guarantees a job exists, but another token-holder may snatch
-  // the one we saw first — the scan retries with a short timed pop per
-  // class until the invariant pays out.
-  while (true) {
-    for (auto& queue : ready_) {
-      if (auto job = queue->try_pop()) return std::move(*job);
+void ImageFormationService::route_loop() {
+  for (;;) {
+    wait_gate();
+    bool end = false;
+    JobPtr job = sched_->claim(std::chrono::milliseconds(50), &end);
+    if (job != nullptr) {
+      router_->dispatch(job);
+      continue;
     }
-    for (auto& queue : ready_) {
-      if (auto job = queue->try_pop_for(std::chrono::microseconds(200))) {
-        return std::move(*job);
-      }
-    }
+    // The drain guarantee: end is only reported once the backlog is empty,
+    // so every admitted job has been dispatched by the time we exit.
+    if (end) return;
   }
 }
 
@@ -283,7 +246,7 @@ exec::GroupPtr ImageFormationService::build_job_group(const JobPtr& job) {
   auto tile = std::make_shared<bp::SoaTile>(region.width, region.height);
   // Runs on whichever worker retires the job's last task: publish the
   // image (or the failure) and resolve the handle. The claiming worker has
-  // long since moved on to the next admission token.
+  // long since moved on to the next claim.
   auto done = [this, ctx, job, tile, region, cache_hit, setup_seconds,
                queued_for](exec::TaskGroup& group) {
     const double compute_seconds =

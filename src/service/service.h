@@ -1,47 +1,48 @@
-// Multi-tenant image-formation job service: a work-stealing tile executor
-// behind a strict-priority, FIFO-within-priority scheduler with admission
-// control, an LRU formation-plan cache, cooperative cancellation/deadline
-// checks between ASR blocks, and a graceful drain built on the
-// BoundedQueue close protocol (DESIGN.md §service, §executor).
+// Multi-tenant image-formation job service: a weighted-fair scheduler with
+// admission control and per-tenant quotas in front of either a local
+// work-stealing tile executor (shards <= 1) or a sharded cluster of rank
+// executors behind a front-end router (shards >= 2), plus an LRU
+// formation-plan cache, cooperative cancellation/deadline checks between
+// ASR blocks, and a graceful drain (DESIGN.md §8, §9, §11).
 //
-// Scheduling structure: one BoundedQueue per priority class holds the
-// admitted jobs; a token queue (one token per admitted job) is what idle
-// executor workers poll. A worker that wins a token is guaranteed at least
-// one job is queued somewhere, and always takes the highest-priority job
-// available at that instant — so a high-priority submission never waits
-// behind queued lower-priority work, only behind already-running jobs.
-// The claimed job is decomposed into block-range tasks on the claiming
-// worker's deque; other workers claim further jobs first and steal tasks
-// only when no whole job is ready, so many small jobs still spread
-// one-per-worker while a single big job fans out across the pool.
+// Scheduling structure: admitted jobs enter a FairScheduler — strict
+// priority across classes, start-time fair queueing across tenants within
+// a class, FIFO within a tenant (fair_queue.h). In local mode, idle
+// executor workers claim jobs straight from the scheduler and decompose
+// each into block-range tasks on their own deque; other workers claim
+// further jobs first and steal tasks only when no whole job is ready. In
+// sharded mode a route thread claims jobs and hands them to the
+// ShardRouter, which partitions each across the cluster ranks
+// (shard_router.h) and gathers the partial tiles asynchronously.
 //
 // Overload semantics: admission is bounded by `max_pending` jobs across
 // all classes. A submit against a full pending set waits up to
-// `admission_grace` for space, then is rejected with kQueueFull — callers
-// see the rejection immediately instead of unbounded queueing (the
-// serving-layer stability property; cf. bounded run queues in the
-// real-time SAR serving literature).
+// `admission_grace` for space, then is rejected with kQueueFull; a submit
+// that would push a tenant past its quota is rejected kQuotaExceeded
+// immediately (the backlog is the tenant's own — waiting cannot help).
 //
-// Shutdown: drain() stops admission, lets the workers finish every queued
-// job (BoundedQueue close-then-drain), and joins them. The destructor
-// drains, so every JobHandle is resolved before the service dies and
-// wait() can never block on a dead service.
+// Shutdown: drain() stops admission, lets the workers (or the router)
+// finish every queued job, and joins them. The destructor drains, so
+// every JobHandle is resolved before the service dies and wait() can
+// never block on a dead service — including when a shard rank died: the
+// cluster abort fails the affected jobs instead of wedging them.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
-#include <vector>
 
-#include "common/queue.h"
 #include "common/thread_annotations.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
+#include "service/fair_queue.h"
 #include "service/job.h"
 #include "service/plan_cache.h"
+#include "service/shard_router.h"
 
 namespace sarbp::service {
 
@@ -51,15 +52,22 @@ enum class RejectReason {
   kQueueFull,      ///< pending set at max_pending for longer than the grace
   kShuttingDown,   ///< drain()/destructor already started
   kInvalidRequest, ///< no pulses, empty grid, or a bad block size
+  kQuotaExceeded,  ///< the tenant's queued-job quota is exhausted
 };
+inline constexpr int kNumRejectReasons = 5;
 
+/// Exhaustive by construction: no default and no fall-through return, so
+/// adding a RejectReason without naming it is a compile error under
+/// -Werror (-Wswitch/-Wreturn-type), not a silent "?" at runtime.
 [[nodiscard]] constexpr const char* reject_reason_name(RejectReason r) {
   switch (r) {
     case RejectReason::kNone: return "none";
     case RejectReason::kQueueFull: return "queue_full";
     case RejectReason::kShuttingDown: return "shutting_down";
     case RejectReason::kInvalidRequest: return "invalid_request";
+    case RejectReason::kQuotaExceeded: return "quota_exceeded";
   }
+  // Unreachable for in-range enumerators; keeps UB away from casts.
   return "?";
 }
 
@@ -71,10 +79,7 @@ struct SubmitOutcome {
 };
 
 struct ServiceConfig {
-  /// Width of the shared work-stealing tile executor. Jobs are claimed
-  /// one per idle worker (job-level concurrency, as before), but each
-  /// claimed job is decomposed into block-range tasks that otherwise-idle
-  /// workers steal — so one large job can saturate the whole pool.
+  /// Width of the local work-stealing tile executor (shards <= 1 mode).
   int workers = 2;
   /// Disables stealing when false: each job runs entirely on the worker
   /// that claimed it (the pre-executor serial behaviour; bench baseline).
@@ -82,8 +87,8 @@ struct ServiceConfig {
   /// Task fan-out per job; 0 = auto (~2 tasks per worker, capped at the
   /// plan's block count).
   Index tile_tasks = 0;
-  /// Admission bound: maximum jobs queued (not yet dequeued by a worker)
-  /// across all priority classes.
+  /// Admission bound: maximum jobs queued (not yet claimed) across all
+  /// priority classes.
   std::size_t max_pending = 64;
   /// How long submit() may wait for pending space before rejecting with
   /// kQueueFull. Zero = reject immediately (pure admission control).
@@ -95,22 +100,44 @@ struct ServiceConfig {
   /// so a batch of requests can be staged and released atomically.
   bool start_paused = false;
   /// Test hook: invoked at every inter-block checkpoint before the
-  /// cancellation/deadline checks. Lets tests synchronize with a RUNNING
-  /// job deterministically. Null in production.
+  /// cancellation/deadline checks (on every shard, in sharded mode).
   std::function<void()> inter_block_hook;
   /// Metrics sink; null selects the process-global obs::registry(). Must
   /// outlive the service and every handle it issued.
   obs::Registry* metrics = nullptr;
+
+  // --- weighted-fair scheduling ------------------------------------------
+  /// Policy for tenants without an explicit entry (and the empty tenant).
+  TenantPolicy default_tenant_policy;
+  /// Per-tenant weight/quota overrides.
+  std::map<std::string, TenantPolicy> tenant_policies;
+
+  // --- sharding (>= 2 activates the cluster-backed router) ---------------
+  /// Cluster width. <= 1 keeps the single-node executor path.
+  int shards = 1;
+  /// Tile-executor width inside each shard rank.
+  int shard_workers = 1;
+  /// Jobs at most this many region pixels route whole to one shard
+  /// (byte-identical to the single-node path).
+  Index shard_small_pixels = 64 * 64;
+  ShardStrategy shard_strategy = ShardStrategy::kAuto;
+  /// Fault-injection seam: runs on a shard rank before each dispatch;
+  /// throwing kills the rank and aborts the cluster (tests).
+  std::function<void(int shard, std::uint64_t seq)> shard_fault_hook;
 };
 
 /// The job service. Instrumentation (per configured registry):
 ///   counters   service.jobs.submitted, service.jobs.{done,failed,
-///              cancelled,expired}, service.rejected.{queue_full,
-///              shutting_down,invalid_request}
-///   gauges     service.pending, service.workers.busy
+///              cancelled,expired}, service.rejected.<reject_reason_name>,
+///              tenant.<t>.{submitted,rejected.quota,jobs.<state>},
+///              shard.jobs.{single,pulse_scatter,grid_split},
+///              shard.parts.dispatched
+///   gauges     service.pending, service.workers.busy, shard.jobs.inflight
 ///   histograms service.job.queue_s, service.job.setup_s,
-///              service.job.compute_s, service.job.latency_s.<priority>
-///   queues     queue.service.ready.<priority>.*, queue.service.tokens.*
+///              service.job.compute_s, service.job.latency_s.<priority>,
+///              tenant.<t>.latency_s, shard.job.gather_s
+///   queues     queue.service.gather.* (sharded mode)
+///   executors  exec.* (local mode) / shard.<k>.exec.* (per shard rank)
 ///   plan cache service.plan_cache.* (see plan_cache.h)
 class ImageFormationService {
  public:
@@ -135,32 +162,33 @@ class ImageFormationService {
   [[nodiscard]] obs::Registry& metrics() const { return *metrics_; }
   [[nodiscard]] const PlanCache& plan_cache() const { return plan_cache_; }
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] bool sharded() const { return router_ != nullptr; }
 
  private:
   using JobPtr = std::shared_ptr<JobHandle>;
 
-  /// The executor's pull-model source: claims the next admission token,
-  /// takes the highest-priority job, and turns it into a task group.
+  /// Counts the rejection in service.rejected.<name> and wraps it.
+  SubmitOutcome reject(RejectReason reason);
+
+  /// The local executor's pull-model source: claims the next job from the
+  /// fair scheduler and turns it into a task group.
   exec::GroupPtr next_group(int worker, std::chrono::microseconds budget,
                             bool* end);
-  [[nodiscard]] JobPtr take_highest_priority();
   /// Runs the claim-side of a job (queue accounting, deadline check,
   /// RUNNING transition, plan setup) and builds its plan-replay group.
   /// Null when the job resolved terminally without any compute.
   exec::GroupPtr build_job_group(const JobPtr& job);
+  /// Sharded mode: claims jobs and hands them to the router until the
+  /// scheduler reports end-of-stream.
+  void route_loop();
   void wait_gate();
 
   ServiceConfig config_;
   obs::Registry* metrics_;
   PlanCache plan_cache_;
 
-  /// Admitted jobs per priority class (FIFO within a class).
-  std::array<std::unique_ptr<BoundedQueue<JobPtr>>, kNumPriorities> ready_;
-  /// One token per admitted job; what the workers block on. Closed by
-  /// drain(): workers consume the backlog, then see end-of-stream.
-  BoundedQueue<int> tokens_;
+  std::unique_ptr<FairScheduler> sched_;
 
-  std::atomic<std::size_t> pending_{0};
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> completion_seq_{0};
 
@@ -169,18 +197,17 @@ class ImageFormationService {
   bool gate_open_ SARBP_GUARDED_BY(gate_mutex_);
 
   obs::Counter* submitted_ = nullptr;
-  obs::Counter* rejected_full_ = nullptr;
-  obs::Counter* rejected_shutdown_ = nullptr;
-  obs::Counter* rejected_invalid_ = nullptr;
-  obs::Gauge* pending_gauge_ = nullptr;
   obs::Gauge* busy_gauge_ = nullptr;
   obs::Histogram* queue_s_ = nullptr;
   obs::Histogram* setup_s_ = nullptr;
   obs::Histogram* compute_s_ = nullptr;
 
-  /// Constructed last: its workers call next_group(), which touches every
-  /// member above. Destroyed first (drain) for the same reason.
+  /// Constructed last: their workers claim from sched_ and touch every
+  /// member above. Destroyed first (drain) for the same reason. Exactly
+  /// one of exec_ (local) / router_ + route_thread_ (sharded) is live.
   std::unique_ptr<exec::TileExecutor> exec_;
+  std::unique_ptr<ShardRouter> router_;
+  std::thread route_thread_;
 };
 
 }  // namespace sarbp::service

@@ -1,0 +1,472 @@
+#include "service/shard_router.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "backprojection/partition.h"
+#include "common/check.h"
+#include "common/grid2d.h"
+#include "common/timer.h"
+
+namespace sarbp::service {
+namespace {
+
+/// Mailbox tags of the dispatch/gather protocol. One tag per direction is
+/// enough: mailboxes match on (source, tag) and deliver FIFO within a key,
+/// and both the dispatch stream per shard and the gather stream per shard
+/// are processed strictly in order.
+constexpr int kTagShardJob = 120;
+constexpr int kTagShardReply = 121;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+int severity(JobState s) {
+  switch (s) {
+    case JobState::kFailed: return 3;
+    case JobState::kExpired: return 2;
+    case JobState::kCancelled: return 1;
+    default: return 0;
+  }
+}
+
+/// Shared outcome of one part's replay: whichever worker's checkpoint
+/// trips first decides (same first-trip-wins discipline as the service's
+/// single-node RunCtx).
+struct PartState {
+  Mutex mutex;
+  std::int32_t status SARBP_GUARDED_BY(mutex);
+  std::string error SARBP_GUARDED_BY(mutex);
+
+  explicit PartState(std::int32_t initial) : status(initial) {}
+
+  void trip(std::int32_t s, const char* message) SARBP_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    if (status == 0) {
+      status = s;
+      error = message;
+    }
+  }
+};
+
+}  // namespace
+
+ShardRouter::ShardRouter(ShardRouterConfig config)
+    : config_(std::move(config)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : &obs::registry()),
+      gather_(config_.gather_capacity > 0 ? config_.gather_capacity : 1,
+              "service.gather", metrics_),
+      // The rank pool starts inside this initializer: everything
+      // worker_loop touches (config_, metrics_, the ctx table) is
+      // initialized above it, and the first dispatch cannot arrive before
+      // the constructor returns.
+      cluster_(config_.shards,
+               [this](cluster::Communicator& comm) { worker_loop(comm); }) {
+  ensure(config_.shards >= 1, "ShardRouter: shards must be positive");
+  ensure(config_.shard_workers >= 1,
+         "ShardRouter: shard_workers must be positive");
+  ensure(config_.plan_cache != nullptr, "ShardRouter: plan cache required");
+  if constexpr (obs::kEnabled) {
+    jobs_single_ = &metrics_->counter("shard.jobs.single");
+    jobs_pulse_scatter_ = &metrics_->counter("shard.jobs.pulse_scatter");
+    jobs_grid_split_ = &metrics_->counter("shard.jobs.grid_split");
+    parts_dispatched_ = &metrics_->counter("shard.parts.dispatched");
+    inflight_gauge_ = &metrics_->gauge("shard.jobs.inflight");
+    queue_s_ = &metrics_->histogram("service.job.queue_s");
+    setup_s_ = &metrics_->histogram("service.job.setup_s");
+    compute_s_ = &metrics_->histogram("service.job.compute_s");
+    gather_s_ = &metrics_->histogram("shard.job.gather_s");
+  }
+  gather_thread_ = std::thread([this] { gather_loop(); });
+}
+
+ShardRouter::~ShardRouter() { shutdown(); }
+
+void ShardRouter::shutdown() {
+  bool expected = false;
+  if (!shut_down_.compare_exchange_strong(expected, true)) return;
+  // Sentinels queue FIFO behind every already-dispatched job message, so
+  // each rank finishes its backlog first. Aborted ranks are already gone;
+  // the sentinel just sits in a mailbox nobody reads.
+  for (int s = 0; s < config_.shards; ++s) {
+    cluster_.frontend().send_value(s, kTagShardJob, DispatchMsg{});
+  }
+  gather_.close();  // gather drains the dispatched backlog, then exits
+  if (gather_thread_.joinable()) gather_thread_.join();
+  cluster_.join();
+}
+
+int ShardRouter::pick_home_shard(const JobPtr& job, std::uint64_t seq) const {
+  const std::string& tenant = job->tenant();
+  const std::uint64_t key = tenant.empty() ? seq : fnv1a(tenant);
+  return static_cast<int>(key % static_cast<std::uint64_t>(config_.shards));
+}
+
+void ShardRouter::split_job(ShardJobCtx& ctx) {
+  const auto& request = ctx.job->request();
+  const Region region = ctx.region;
+  const Index pulses = request.pulses->num_pulses();
+  const Index shards = config_.shards;
+
+  const auto single = [&] {
+    ctx.parts.push_back(
+        ShardPart{pick_home_shard(ctx.job, ctx.seq), region, 0, pulses});
+    if (jobs_single_) jobs_single_->add();
+  };
+
+  // Band cuts land on ASR block boundaries relative to the region origin,
+  // so each band's plan blocks coincide with the full-region plan's blocks
+  // and the assembled image is bit-identical to the single-node result.
+  const auto try_grid_split = [&]() -> bool {
+    const Index blocks_y =
+        (region.height + request.asr_block_h - 1) / request.asr_block_h;
+    const Index blocks_x =
+        (region.width + request.asr_block_w - 1) / request.asr_block_w;
+    const bool by_rows = blocks_y >= 2;
+    if (!by_rows && blocks_x < 2) return false;
+    const Index bands = by_rows ? blocks_y : blocks_x;
+    const Index edge = by_rows ? request.asr_block_h : request.asr_block_w;
+    const Index extent = by_rows ? region.height : region.width;
+    const Index k = std::min<Index>(shards, bands);
+    for (Index i = 0; i < k; ++i) {
+      const Index c0 = bp::split_begin(bands, k, i) * edge;
+      const Index c1 = std::min(bp::split_begin(bands, k, i + 1) * edge, extent);
+      const Region band =
+          by_rows ? Region{region.x0, region.y0 + c0, region.width, c1 - c0}
+                  : Region{region.x0 + c0, region.y0, c1 - c0, region.height};
+      ctx.parts.push_back(ShardPart{static_cast<int>(i), band, 0, pulses});
+    }
+    ctx.used = ShardStrategy::kGridSplit;
+    if (jobs_grid_split_) jobs_grid_split_->add();
+    return true;
+  };
+
+  // The front end builds (or cache-hits) the one shared full-region plan;
+  // each shard replays a disjoint pulse range of it.
+  const auto try_pulse_scatter = [&]() -> bool {
+    if (pulses < 2) return false;
+    Timer setup_timer;
+    ctx.plan = config_.plan_cache->get_or_build(
+        request.grid, region, request.asr_block_w, request.asr_block_h,
+        *request.pulses, &ctx.front_cache_hit);
+    ctx.setup_seconds = setup_timer.seconds();
+    if (setup_s_) setup_s_->record(ctx.setup_seconds);
+    const Index k = std::min<Index>(shards, pulses);
+    for (Index i = 0; i < k; ++i) {
+      ctx.parts.push_back(ShardPart{static_cast<int>(i), region,
+                                    bp::split_begin(pulses, k, i),
+                                    bp::split_begin(pulses, k, i + 1)});
+    }
+    ctx.used = ShardStrategy::kPulseScatter;
+    if (jobs_pulse_scatter_) jobs_pulse_scatter_->add();
+    return true;
+  };
+
+  if (shards <= 1 || region.pixels() <= config_.small_job_pixels) {
+    single();
+    return;
+  }
+  switch (config_.strategy) {
+    case ShardStrategy::kAuto:
+      if (!try_grid_split() && !try_pulse_scatter()) single();
+      return;
+    case ShardStrategy::kGridSplit:
+      if (!try_grid_split()) single();
+      return;
+    case ShardStrategy::kPulseScatter:
+      if (!try_pulse_scatter()) single();
+      return;
+  }
+}
+
+void ShardRouter::finish_without_compute(const JobPtr& job, JobState terminal,
+                                         const char* error, double queued_for,
+                                         double setup_seconds) {
+  MutexLock lock(job->mutex_);
+  if (is_terminal(job->state())) return;
+  job->result_.queue_seconds = queued_for;
+  job->result_.setup_seconds = setup_seconds;
+  job->result_.error = error;
+  job->finish_locked(terminal);
+}
+
+void ShardRouter::dispatch(const JobPtr& job) {
+  const auto now = std::chrono::steady_clock::now();
+  const double queued_for =
+      std::chrono::duration<double>(now - job->submitted_).count();
+  if (queue_s_) queue_s_->record(queued_for);
+
+  // Cancelled while queued: the handle is already terminal, just drop it.
+  if (is_terminal(job->state())) return;
+
+  const auto& request = job->request();
+  if (request.deadline.has_value() && now > *request.deadline) {
+    finish_without_compute(job, JobState::kExpired,
+                           "deadline passed while queued", queued_for, 0.0);
+    return;
+  }
+  if (!job->start_running()) return;
+
+  auto ctx = std::make_shared<ShardJobCtx>();
+  ctx->seq = next_seq_++;
+  ctx->job = job;
+  ctx->region = request.effective_region();
+  ctx->queued_for = queued_for;
+  try {
+    split_job(*ctx);
+  } catch (const std::exception& e) {
+    finish_without_compute(job, JobState::kFailed, e.what(), queued_for,
+                           ctx->setup_seconds);
+    return;
+  }
+
+  if (inflight_gauge_) inflight_gauge_->add(1);
+  {
+    // Published before any dispatch message: a shard's lookup must win.
+    MutexLock lock(table_mutex_);
+    inflight_.emplace(ctx->seq, ctx);
+  }
+  for (std::size_t i = 0; i < ctx->parts.size(); ++i) {
+    DispatchMsg msg;
+    msg.seq = ctx->seq;
+    msg.part = static_cast<std::int32_t>(i);
+    cluster_.frontend().send_value(ctx->parts[i].shard, kTagShardJob, msg);
+  }
+  if (parts_dispatched_) parts_dispatched_->add(ctx->parts.size());
+  if (!gather_.push(ctx)) {
+    // Defensive: shutdown() closed the gather queue under us (callers stop
+    // dispatching first). Resolve the handle rather than leak a waiter.
+    finish_without_compute(job, JobState::kFailed, "service shutting down",
+                           queued_for, ctx->setup_seconds);
+    MutexLock lock(table_mutex_);
+    inflight_.erase(ctx->seq);
+    if (inflight_gauge_) inflight_gauge_->add(-1);
+  }
+}
+
+ShardRouter::CtxPtr ShardRouter::find_ctx(std::uint64_t seq) const {
+  MutexLock lock(table_mutex_);
+  const auto it = inflight_.find(seq);
+  return it != inflight_.end() ? it->second : nullptr;
+}
+
+void ShardRouter::worker_loop(cluster::Communicator& comm) {
+  const int shard = comm.rank();
+  const int frontend = comm.size() - 1;
+  exec::ExecOptions exec_options;
+  exec_options.workers = config_.shard_workers;
+  exec_options.steal = config_.steal;
+  exec_options.metrics = metrics_;
+  exec_options.metric_prefix = "shard." + std::to_string(shard) + ".";
+  exec::TileExecutor exec(exec_options);
+
+  for (;;) {
+    const auto msg = comm.recv_value<DispatchMsg>(frontend, kTagShardJob);
+    if (msg.seq == 0) break;  // shutdown sentinel
+    if (config_.shard_fault_hook) config_.shard_fault_hook(shard, msg.seq);
+    const CtxPtr ctx = find_ctx(msg.seq);
+    ensure(ctx != nullptr, "ShardRouter: dispatch for unknown job");
+    comm.send(frontend, kTagShardReply, run_part(exec, *ctx, msg));
+  }
+}
+
+std::vector<std::byte> ShardRouter::run_part(exec::TileExecutor& exec,
+                                             const ShardJobCtx& ctx,
+                                             const DispatchMsg& msg) {
+  ensure(msg.part >= 0 &&
+             static_cast<std::size_t>(msg.part) < ctx.parts.size(),
+         "ShardRouter: part index out of range");
+  const ShardPart& part = ctx.parts[static_cast<std::size_t>(msg.part)];
+
+  ReplyHeader header;
+  header.seq = msg.seq;
+  header.part = msg.part;
+  header.status = kPartDone;
+  std::string error;
+  Grid2D<CFloat> image(0, 0);
+  Timer compute_timer;
+  try {
+    const auto& request = ctx.job->request();
+    std::shared_ptr<const FormationPlan> plan = ctx.plan;
+    if (plan == nullptr) {
+      // Single-shard and grid-split routes plan their own (sub-)region —
+      // through the shared cache, so repeated scenes still hit.
+      bool hit = false;
+      plan = config_.plan_cache->get_or_build(
+          request.grid, part.region, request.asr_block_w, request.asr_block_h,
+          *request.pulses, &hit);
+      header.cache_hit = hit ? 1 : 0;
+    }
+
+    auto state = std::make_shared<PartState>(kPartDone);
+    const JobPtr job = ctx.job;
+    auto checkpoint = [this, state, job]() -> bool {
+      if (config_.inter_block_hook) config_.inter_block_hook();
+      if (job->cancel_requested()) {
+        state->trip(kPartCancelled, "cancelled while running");
+        return false;
+      }
+      const auto& deadline = job->request().deadline;
+      if (deadline.has_value() &&
+          std::chrono::steady_clock::now() > *deadline) {
+        state->trip(kPartExpired, "deadline passed while running");
+        return false;
+      }
+      return true;
+    };
+
+    auto tile =
+        std::make_shared<bp::SoaTile>(part.region.width, part.region.height);
+    auto group = make_plan_replay_group(
+        std::move(plan), request.pulses, config_.shard_workers,
+        config_.tile_tasks, tile, std::move(checkpoint), nullptr,
+        part.pulse_begin, part.pulse_end);
+    exec.run(group);
+    header.compute_seconds = compute_timer.seconds();
+    {
+      MutexLock lock(state->mutex);
+      header.status = state->status;
+      error = state->error;
+    }
+    if (header.status == kPartDone && group->aborted()) {
+      header.status = kPartFailed;
+      error = group->error().empty() ? "part aborted" : group->error();
+    }
+    if (header.status == kPartDone) {
+      image = Grid2D<CFloat>(part.region.width, part.region.height);
+      tile->accumulate_into(image,
+                            Region{0, 0, part.region.width, part.region.height});
+    }
+  } catch (const cluster::ClusterAborted&) {
+    throw;  // the cluster is poisoned; no reply will be read
+  } catch (const std::exception& e) {
+    header.status = kPartFailed;
+    header.compute_seconds = compute_timer.seconds();
+    error = e.what();
+  }
+
+  const std::size_t payload_size =
+      header.status == kPartDone
+          ? static_cast<std::size_t>(image.size()) * sizeof(CFloat)
+          : error.size();
+  std::vector<std::byte> reply(sizeof(ReplyHeader) + payload_size);
+  std::memcpy(reply.data(), &header, sizeof(header));
+  if (payload_size > 0) {
+    const void* payload = header.status == kPartDone
+                              ? static_cast<const void*>(image.data())
+                              : static_cast<const void*>(error.data());
+    std::memcpy(reply.data() + sizeof(header), payload, payload_size);
+  }
+  return reply;
+}
+
+void ShardRouter::gather_loop() {
+  // Close-then-drain: after shutdown() every already-dispatched job is
+  // still popped and resolved before the thread exits.
+  while (auto popped = gather_.pop()) {
+    const CtxPtr ctx = std::move(*popped);
+    Timer gather_timer;
+    finish_job(*ctx);
+    if (gather_s_) gather_s_->record(gather_timer.seconds());
+    {
+      MutexLock lock(table_mutex_);
+      inflight_.erase(ctx->seq);
+    }
+    if (inflight_gauge_) inflight_gauge_->add(-1);
+  }
+}
+
+void ShardRouter::finish_job(const ShardJobCtx& ctx) {
+  const Region region = ctx.region;
+  Grid2D<CFloat> image(region.width, region.height);
+  JobState outcome = JobState::kDone;
+  std::string error;
+  bool cache_hit = ctx.front_cache_hit;
+  double compute_max = 0.0;
+  // Pulse-scatter parts cover the whole region and sum; the disjoint
+  // routes (single shard, grid split) copy their band verbatim, keeping
+  // the assembled bytes exactly the part bytes.
+  const bool sum_parts = ctx.plan != nullptr;
+
+  for (std::size_t i = 0; i < ctx.parts.size(); ++i) {
+    const ShardPart& part = ctx.parts[i];
+    std::vector<std::byte> bytes;
+    try {
+      bytes = cluster_.frontend().recv(part.shard, kTagShardReply);
+    } catch (const cluster::ClusterAborted&) {
+      // A rank died. Every un-replied part of this job (and of every job
+      // behind it) resolves the same way, immediately — the fix for the
+      // rank-failure hang, surfaced as a FAILED job instead of a stuck
+      // wait().
+      outcome = JobState::kFailed;
+      const std::string reason = cluster_.abort_reason();
+      error = reason.empty() ? std::string("shard cluster aborted")
+                             : "shard cluster aborted: " + reason;
+      break;
+    }
+    ensure(bytes.size() >= sizeof(ReplyHeader), "ShardRouter: short reply");
+    ReplyHeader header;
+    std::memcpy(&header, bytes.data(), sizeof(header));
+    ensure(header.seq == ctx.seq &&
+               header.part == static_cast<std::int32_t>(i),
+           "ShardRouter: reply out of order");
+    compute_max = std::max(compute_max, header.compute_seconds);
+    cache_hit = cache_hit || header.cache_hit != 0;
+    const std::byte* payload = bytes.data() + sizeof(header);
+    const std::size_t payload_size = bytes.size() - sizeof(header);
+    if (header.status == kPartDone) {
+      ensure(payload_size == static_cast<std::size_t>(part.region.pixels()) *
+                                 sizeof(CFloat),
+             "ShardRouter: tile size mismatch");
+      const auto* tile = reinterpret_cast<const CFloat*>(payload);
+      if (sum_parts) {
+        // Shard-index order — the documented reduction order of the
+        // pulse-scatter route.
+        auto flat = image.flat();
+        for (std::size_t j = 0; j < flat.size(); ++j) flat[j] += tile[j];
+      } else {
+        const Index dx = part.region.x0 - region.x0;
+        const Index dy = part.region.y0 - region.y0;
+        for (Index y = 0; y < part.region.height; ++y) {
+          std::memcpy(image.row(dy + y).data() + dx,
+                      tile + y * part.region.width,
+                      static_cast<std::size_t>(part.region.width) *
+                          sizeof(CFloat));
+        }
+      }
+    } else {
+      const JobState part_outcome = header.status == kPartFailed
+                                        ? JobState::kFailed
+                                        : header.status == kPartExpired
+                                              ? JobState::kExpired
+                                              : JobState::kCancelled;
+      if (severity(part_outcome) > severity(outcome)) {
+        outcome = part_outcome;
+        error.assign(reinterpret_cast<const char*>(payload), payload_size);
+      }
+    }
+  }
+
+  if (compute_s_) compute_s_->record(compute_max);
+  JobHandle& job = *ctx.job;
+  MutexLock lock(job.mutex_);
+  if (is_terminal(job.state())) return;  // lost a race to cancel()
+  job.result_.queue_seconds = ctx.queued_for;
+  job.result_.setup_seconds = ctx.setup_seconds;
+  job.result_.compute_seconds = compute_max;
+  job.result_.plan_cache_hit = cache_hit;
+  job.result_.error = std::move(error);
+  if (outcome == JobState::kDone) job.result_.image = std::move(image);
+  job.finish_locked(outcome);
+}
+
+}  // namespace sarbp::service

@@ -281,7 +281,11 @@ ReplayStats replay_trace(const Trace& trace, ImageFormationService& service) {
       request.asr_block_w = request.asr_block_h = entry.block;
       request.priority = entry.priority;
       request.tenant = entry.tenant;
-      if (entry.deadline_ms > 0.0) {
+      if (entry.deadline_ms != 0.0) {
+        // The trace stores the deadline *relative* to submission, so the
+        // absolute point is reconstructed here. A negative offset is a
+        // deadline already in the past at submission (replayed faithfully
+        // as an immediate expiry), not "no deadline" — only 0 means none.
         request.deadline = std::chrono::steady_clock::now() +
                            std::chrono::microseconds(static_cast<long long>(
                                entry.deadline_ms * 1000.0));

@@ -16,8 +16,11 @@
 // `scene` seeds the simulated collection geometry: entries sharing
 // (scene, ix, pulses) reuse the same phase history, which is exactly the
 // repeated-scene case the plan cache exists for. `repeat` expands one
-// entry into that many consecutive submissions. `deadline_ms` <= 0 means
-// no deadline; `delay_ms` is the inter-arrival gap before each submission.
+// entry into that many consecutive submissions. `deadline_ms` is the
+// completion deadline *relative to submission*: 0 means no deadline, and a
+// negative value is a deadline already past at submission (the job expires
+// immediately — replayed as recorded, not dropped). `delay_ms` is the
+// inter-arrival gap before each submission.
 #pragma once
 
 #include <cstdint>

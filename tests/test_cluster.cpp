@@ -6,11 +6,14 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "cluster/collectives.h"
 #include "cluster/comm.h"
 #include "cluster/distributed.h"
 #include "cluster/halo.h"
+#include "cluster/shard.h"
 #include "cluster/torus_model.h"
 #include "common/snr.h"
 #include "test_helpers.h"
@@ -87,6 +90,79 @@ TEST(Comm, RankExceptionPropagates) {
                                                std::to_string(comm.rank()));
                            }),
                PreconditionError);
+}
+
+TEST(Comm, AbortWakesBlockedRecv) {
+  // The rank-failure hang this repo shipped with: rank 1 blocks on a recv
+  // that rank 0 (dead from an exception) will never satisfy. The abort
+  // protocol must wake the recv with ClusterAborted and surface rank 0's
+  // root cause from run_cluster, not rank 1's secondary unwind.
+  try {
+    run_cluster(2, [](Communicator& comm) {
+      if (comm.rank() == 0) {
+        ensure(false, "rank 0 deliberate failure");
+      } else {
+        (void)comm.recv(0, 99);  // would hang forever without the abort
+        FAIL() << "recv returned despite a dead peer";
+      }
+    });
+    FAIL() << "run_cluster swallowed the rank failure";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("deliberate"), std::string::npos);
+  }
+}
+
+TEST(Comm, AbortWakesBlockedBarrier) {
+  // Same hang through the barrier path: a waiter whose peer died before
+  // arriving must unwind, and the reported error is the root cause (a
+  // plain runtime_error here, not the ClusterAborted it triggered).
+  try {
+    run_cluster(2, [](Communicator& comm) {
+      if (comm.rank() == 0) throw std::runtime_error("boom at startup");
+      comm.barrier();
+      FAIL() << "barrier completed despite a dead peer";
+    });
+    FAIL() << "run_cluster swallowed the rank failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at startup");
+  }
+}
+
+TEST(ShardCluster, FrontendRoundTripAndAbortReporting) {
+  {
+    // Healthy pool: the extra front-end endpoint round-trips messages with
+    // both ranks, and a clean shutdown leaves no error recorded.
+    ShardCluster pool(2, [](Communicator& comm) {
+      const int frontend = comm.size() - 1;
+      for (;;) {
+        const int v = comm.recv_value<int>(frontend, 5);
+        if (v < 0) break;  // shutdown sentinel
+        comm.send_value<int>(frontend, 6, v * 10 + comm.rank());
+      }
+    });
+    Communicator& fe = pool.frontend();
+    fe.send_value<int>(0, 5, 1);
+    fe.send_value<int>(1, 5, 2);
+    EXPECT_EQ(fe.recv_value<int>(0, 6), 10);
+    EXPECT_EQ(fe.recv_value<int>(1, 6), 21);
+    fe.send_value<int>(0, 5, -1);
+    fe.send_value<int>(1, 5, -1);
+    pool.join();
+    EXPECT_FALSE(pool.aborted());
+    EXPECT_TRUE(pool.first_error().empty());
+  }
+  {
+    // Faulty pool: a throwing rank aborts the cluster (waking its blocked
+    // peer) and its message is reported as the first error.
+    ShardCluster pool(2, [](Communicator& comm) {
+      const int frontend = comm.size() - 1;
+      if (comm.rank() == 0) throw std::runtime_error("shard down");
+      (void)comm.recv(frontend, 5);  // unblocked by the abort
+    });
+    pool.join();
+    EXPECT_TRUE(pool.aborted());
+    EXPECT_NE(pool.first_error().find("shard down"), std::string::npos);
+  }
 }
 
 class CollectiveSweep : public ::testing::TestWithParam<int> {};
@@ -307,6 +383,54 @@ TEST(Distributed, MatchesSingleRankImage) {
     EXPECT_GT(report.gather_bytes, 0.0);
     EXPECT_GT(report.broadcast_bytes, 0.0);
     EXPECT_GT(report.max_rank_compute_s, 0.0);
+  }
+}
+
+TEST(Distributed, ParityAcrossRankCountsOnAwkwardGrids) {
+  // Non-square, prime-ish, and degenerate 1xN / Nx1 grids stress the
+  // partitioner's remainder handling; every rank count must agree with the
+  // single-rank image.
+  struct Shape {
+    Index w, h;
+  };
+  for (const Shape shape : {Shape{51, 37}, Shape{1, 48}, Shape{48, 1}}) {
+    sarbp::testing::ScenarioConfig cfg;
+    cfg.image = 64;
+    cfg.pulses = 12;
+    const auto s = sarbp::testing::make_scenario(cfg);
+    const geometry::ImageGrid grid(shape.w, shape.h, 0.5);
+    bp::BackprojectOptions options;
+    options.threads = 1;
+    options.min_region_edge = 8;
+    const Grid2D<CFloat> single =
+        distributed_backprojection(1, s.history, grid, options);
+    for (int ranks : {2, 4, 7}) {
+      const Grid2D<CFloat> multi =
+          distributed_backprojection(ranks, s.history, grid, options);
+      EXPECT_GT(snr_db(multi, single), 70.0)
+          << shape.w << "x" << shape.h << " on " << ranks << " ranks";
+    }
+  }
+}
+
+TEST(Distributed, ZeroPulseBatchFormsZeroImageWithoutHanging) {
+  // A zero-pulse collection used to trip the pulse partitioner's
+  // parts-vs-ranks check on multi-rank runs; now every rank count returns
+  // an all-zero image.
+  const sim::PhaseHistory empty(0, 64, 0.5, 400.0);
+  const geometry::ImageGrid grid(32, 32, 0.5);
+  bp::BackprojectOptions options;
+  options.threads = 1;
+  options.min_region_edge = 8;
+  for (int ranks : {1, 2, 4, 7}) {
+    const Grid2D<CFloat> image =
+        distributed_backprojection(ranks, empty, grid, options);
+    for (Index y = 0; y < image.height(); ++y) {
+      for (Index x = 0; x < image.width(); ++x) {
+        ASSERT_EQ(image.at(x, y), CFloat(0.0F, 0.0F))
+            << "ranks=" << ranks << " at (" << x << "," << y << ")";
+      }
+    }
   }
 }
 

@@ -7,8 +7,11 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -200,6 +203,107 @@ TEST(Service, AdmissionRejectsWhenPendingSetFull) {
   service.drain();
   EXPECT_EQ(a.handle->result().state, JobState::kDone);
   EXPECT_EQ(b.handle->result().state, JobState::kDone);
+}
+
+TEST(Service, RejectReasonNamesCoverEveryEnumerator) {
+  // Guard rail for the metric namespace: every reject reason must map to a
+  // distinct, non-placeholder name (the names become counter suffixes).
+  std::set<std::string> names;
+  for (int r = 0; r < kNumRejectReasons; ++r) {
+    const std::string name = reject_reason_name(static_cast<RejectReason>(r));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumRejectReasons));
+  EXPECT_EQ(names.count("quota_exceeded"), 1u);
+}
+
+TEST(Service, TenantQuotaRejectsExcessQueuedJobs) {
+  const auto [s, pulses] = make_tiny();
+
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.start_paused = true;  // nothing dequeues, so queued counts are exact
+  sc.tenant_policies["alpha"].quota = 1;
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  ImageFormationRequest first = tiny_request(s, pulses);
+  first.tenant = "alpha";
+  auto a = service.submit(std::move(first));
+  ASSERT_TRUE(a.admitted());
+
+  ImageFormationRequest second = tiny_request(s, pulses);
+  second.tenant = "alpha";
+  auto b = service.submit(std::move(second));
+  EXPECT_FALSE(b.admitted());
+  EXPECT_EQ(b.reject, RejectReason::kQuotaExceeded);
+
+  // The quota is per tenant: another tenant (and the default unlimited
+  // policy) is unaffected.
+  ImageFormationRequest other = tiny_request(s, pulses);
+  other.tenant = "beta";
+  auto c = service.submit(std::move(other));
+  ASSERT_TRUE(c.admitted());
+
+  if (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("service.rejected.quota_exceeded").value(), 1u);
+    EXPECT_EQ(reg.counter("tenant.alpha.rejected.quota").value(), 1u);
+  }
+
+  service.resume();
+  service.drain();
+  EXPECT_EQ(a.handle->result().state, JobState::kDone);
+  EXPECT_EQ(c.handle->result().state, JobState::kDone);
+}
+
+TEST(Service, WeightedFairSchedulingInterleavesByWeight) {
+  const auto [s, pulses] = make_tiny();
+
+  obs::Registry reg;
+  ServiceConfig sc;
+  sc.workers = 1;  // sequential claims make the interleave deterministic
+  sc.start_paused = true;
+  sc.tenant_policies["alpha"].weight = 2.0;
+  sc.tenant_policies["beta"].weight = 1.0;
+  sc.metrics = &reg;
+  ImageFormationService service(sc);
+
+  // Equal-cost jobs: start-time fair queuing gives alpha finish tags at
+  // 0.5c, 1.0c, 1.5c, 2.0c and beta at 1.0c, 2.0c; ties break toward the
+  // lexicographically smaller tenant. Expected claim order: A A B A A B.
+  std::vector<std::shared_ptr<JobHandle>> alpha, beta;
+  for (int i = 0; i < 4; ++i) {
+    ImageFormationRequest req = tiny_request(s, pulses);
+    req.tenant = "alpha";
+    auto outcome = service.submit(std::move(req));
+    ASSERT_TRUE(outcome.admitted());
+    alpha.push_back(std::move(outcome.handle));
+  }
+  for (int i = 0; i < 2; ++i) {
+    ImageFormationRequest req = tiny_request(s, pulses);
+    req.tenant = "beta";
+    auto outcome = service.submit(std::move(req));
+    ASSERT_TRUE(outcome.admitted());
+    beta.push_back(std::move(outcome.handle));
+  }
+
+  service.resume();
+  service.drain();
+
+  std::vector<std::uint64_t> order;
+  for (const auto& h : {alpha[0], alpha[1], beta[0], alpha[2], alpha[3],
+                        beta[1]}) {
+    ASSERT_EQ(h->result().state, JobState::kDone);
+    order.push_back(h->result().completion_index);
+  }
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i])
+        << "weighted-fair order broke between positions " << i - 1 << " and "
+        << i;
+  }
 }
 
 TEST(Service, InvalidRequestsRejectedWithReason) {
@@ -459,6 +563,31 @@ TEST(Trace, JsonRoundTrip) {
     EXPECT_EQ(parsed.requests[i].scene, trace.requests[i].scene);
     EXPECT_EQ(parsed.requests[i].tenant, trace.requests[i].tenant);
   }
+}
+
+TEST(Trace, NearPastDeadlineRoundTripsAndExpiresOnReplay) {
+  // A negative deadline_ms is a deadline already past at submission. It
+  // must survive the JSON round trip (not get clamped to "no deadline")
+  // and replay as an immediate expiry, not a completed job.
+  Trace trace;
+  TraceEntry entry;
+  entry.image = 32;
+  entry.pulses = 8;
+  entry.block = 16;
+  entry.deadline_ms = -5.0;
+  trace.requests.push_back(entry);
+
+  const Trace parsed = parse_trace_json(to_json(trace));
+  ASSERT_EQ(parsed.requests.size(), 1u);
+  EXPECT_EQ(parsed.requests[0].deadline_ms, -5.0);
+
+  ServiceConfig sc;
+  sc.workers = 1;
+  ImageFormationService service(sc);
+  const ReplayStats stats = replay_trace(parsed, service);
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.done, 0u);
 }
 
 TEST(Trace, ParseRejectsBadInput) {

@@ -308,6 +308,8 @@ int cmd_serve_trace(const Cli& cli) {
   config.workers = static_cast<int>(cli.get_long("workers", 2));
   config.max_pending =
       static_cast<std::size_t>(cli.get_long("max-pending", 64));
+  config.shards = static_cast<int>(cli.get_long("shards", 1));
+  config.shard_workers = static_cast<int>(cli.get_long("shard-workers", 1));
   if (const auto cache = cli.get("cache")) {
     if (*cache == "off") {
       config.plan_cache_capacity = 0;
@@ -321,9 +323,17 @@ int cmd_serve_trace(const Cli& cli) {
   const service::ReplayStats stats = service::replay_trace(trace, srv);
   srv.drain();
 
-  std::printf("replayed %zu requests on %d workers (plan cache %s)\n",
-              stats.submitted + stats.rejected, config.workers,
-              config.plan_cache_capacity > 0 ? "on" : "off");
+  if (config.shards >= 2) {
+    std::printf("replayed %zu requests on %d shards x %d workers "
+                "(plan cache %s)\n",
+                stats.submitted + stats.rejected, config.shards,
+                config.shard_workers,
+                config.plan_cache_capacity > 0 ? "on" : "off");
+  } else {
+    std::printf("replayed %zu requests on %d workers (plan cache %s)\n",
+                stats.submitted + stats.rejected, config.workers,
+                config.plan_cache_capacity > 0 ? "on" : "off");
+  }
   std::printf("  done %zu  failed %zu  cancelled %zu  expired %zu  "
               "rejected %zu\n",
               stats.done, stats.failed, stats.cancelled, stats.expired,
@@ -351,7 +361,8 @@ void usage() {
                "  pipeline --frames 3 [--ix 128 --pulses 96 --out-prefix p_]\n"
                "  serve-trace [--trace f.json | --scenes 3 --repeats 4 "
                "--ix 96 --pulses 48 --block 32] [--workers 2 --cache on|off "
-               "--max-pending 64 --emit-trace f.json]\n"
+               "--max-pending 64 --shards 1 --shard-workers 1 "
+               "--emit-trace f.json]\n"
                "      replay a sarbp.trace.v1 request trace (or a synthetic\n"
                "      repeated-scene workload) through the multi-tenant job\n"
                "      service and report throughput, latency percentiles,\n"
@@ -397,7 +408,8 @@ int main(int argc, char** argv) {
     } else if (command == "serve-trace") {
       bad_flag = cli.unknown_flag({"trace", "emit-trace", "scenes", "repeats",
                                    "ix", "pulses", "block", "workers", "cache",
-                                   "max-pending", "metrics-out"});
+                                   "max-pending", "shards", "shard-workers",
+                                   "metrics-out"});
       if (!bad_flag) rc = cmd_serve_trace(cli);
     } else {
       known = false;

@@ -22,10 +22,13 @@ Rules (names are what `// lint: allow(<rule>)` suppressions refer to):
                   pacing sleeps need an explicit suppression explaining why
                   nothing could notify them.
 
-  queue-result    In src/service, BoundedQueue push/pop family results must
+  queue-result    In src/service and src/cluster, BoundedQueue push/pop
+                  family results and Communicator recv-family results must
                   not be discarded — neither as a bare expression statement
-                  nor via a (void) cast. Admission control and the
-                  close/drain protocol live entirely in those return values.
+                  nor via a (void) cast. Admission control, the close/drain
+                  protocol, and the shard gather protocol live entirely in
+                  those return values: a dropped recv is a reply (or abort
+                  notification) silently thrown away.
 
 Suppression syntax (same line, or alone on the line directly above):
 
@@ -66,6 +69,13 @@ SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
 QUEUE_DISCARD_RE = re.compile(
     r"(?:^\s*|\(\s*void\s*\)\s*)[A-Za-z_][\w]*(?:\.|->)"
     r"(?:push|try_push|try_push_for|pop|try_pop|try_pop_for)\s*\("
+)
+
+# A gather-mailbox receive whose payload is dropped. recv/recv_vec/
+# recv_value may carry template arguments (`recv_value<int>(...)`).
+MAILBOX_DISCARD_RE = re.compile(
+    r"(?:^\s*|\(\s*void\s*\)\s*)[A-Za-z_][\w]*(?:\.|->)"
+    r"(?:recv_value|recv_vec|recv)\s*(?:<[^;(]*>)?\s*\("
 )
 
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)\s*(--\s*\S.*)?")
@@ -124,6 +134,19 @@ def order_comment_near(lines: list[str], idx: int) -> bool:
     )
 
 
+def statement_start(lines: list[str], idx: int) -> bool:
+    """True when line idx begins a statement (not a continuation).
+
+    A bare `comm.recv_vec<T>(...)` on a continuation line is the tail of an
+    assignment like `const auto payload =` — the value IS consumed, so the
+    discard rules must not fire on it.
+    """
+    if idx == 0:
+        return True
+    prev = code_part(lines[idx - 1]).strip()
+    return not prev or prev[-1] in ";{}"
+
+
 def suppressions_for(lines: list[str], idx: int) -> tuple[set[str], list[Finding] | None]:
     """Rules suppressed at line index `idx` (same line or the line above)."""
     allowed: set[str] = set()
@@ -147,7 +170,8 @@ def suppressions_for(lines: list[str], idx: int) -> tuple[set[str], list[Finding
 
 def scan_file(path: pathlib.Path, text: str) -> list[Finding]:
     rel = path
-    in_service = "src/service" in path.as_posix()
+    in_queue_scope = ("src/service" in path.as_posix() or
+                      "src/cluster" in path.as_posix())
     in_src = path.as_posix().startswith("src/")
     is_annotation_header = path.as_posix() == ANNOTATION_HEADER.as_posix()
 
@@ -184,12 +208,20 @@ def scan_file(path: pathlib.Path, text: str) -> list[Finding]:
                     "sleep_for in src/: wait on a condition variable "
                     "instead of polling (suppress only for pure pacing)"))
 
-        if in_service and QUEUE_DISCARD_RE.search(code):
+        if in_queue_scope and QUEUE_DISCARD_RE.search(code):
             if "queue-result" not in allowed:
                 findings.append(Finding(
                     rel, i + 1, "queue-result",
-                    "BoundedQueue result discarded in src/service; the "
-                    "admission/close protocol lives in that return value"))
+                    "BoundedQueue result discarded; the admission/close "
+                    "protocol lives in that return value"))
+
+        if (in_queue_scope and MAILBOX_DISCARD_RE.search(code)
+                and statement_start(lines, i)):
+            if "queue-result" not in allowed:
+                findings.append(Finding(
+                    rel, i + 1, "queue-result",
+                    "mailbox recv result discarded; a dropped reply breaks "
+                    "the shard gather protocol (consume or bind it)"))
 
     return findings
 
@@ -263,6 +295,16 @@ SELFTEST_CASES = [
     ("src/service/s.cpp", "if (!queue_.push(x)) return;\n", []),
     ("src/service/s.cpp", "const bool ok = q.try_push_for(x, grace);\n", []),
     ("src/other/s.cpp", "queue_.push(std::move(x));\n", []),
+    ("src/cluster/c.cpp", "queue_.push(std::move(x));\n", ["queue-result"]),
+    ("src/cluster/c.cpp", "comm.recv(0, 7);\n", ["queue-result"]),
+    ("src/cluster/c.cpp", "(void)comm.recv_value<int>(0, 7);\n",
+     ["queue-result"]),
+    ("src/cluster/c.cpp",
+     "const auto payload =\n    comm.recv_vec<T>(src, tag);\n",
+     []),  # continuation of an assignment: the value IS consumed
+    ("src/service/s.cpp", "fe->recv_vec<float>(s, kTag);\n",
+     ["queue-result"]),
+    ("src/other/s.cpp", "comm.recv(0, 7);\n", []),  # out of scope
 ]
 
 
