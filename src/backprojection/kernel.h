@@ -23,7 +23,9 @@
 // coordinates); the driver owns placement and reduction.
 #pragma once
 
+#include "asr/tables.h"
 #include "backprojection/soa_tile.h"
+#include "common/aligned.h"
 #include "common/grid2d.h"
 #include "common/region.h"
 #include "common/types.h"
@@ -67,9 +69,46 @@ void backproject_asr_scalar(const sim::PhaseHistory& history,
                             Index pulse_end, Index block_w, Index block_h,
                             geometry::LoopOrder order, SoaTile& out);
 
-/// True when a vector (AVX2 or AVX-512) ASR kernel was compiled in.
+/// Which vector ISA the ASR SIMD kernel should run. The per-ISA kernel
+/// translation units (kernel_asr_avx2.cpp / kernel_asr_avx512.cpp) are
+/// compiled with their own explicit -march and linked unconditionally;
+/// selection happens at runtime from host cpuid (src/common/cpu.h), so one
+/// binary carries every width — no more compile-time-only dispatch.
+enum class SimdIsa {
+  kAuto,    ///< widest usable ISA on this host (the default)
+  kScalar,  ///< force the portable scalar sweep
+  kAvx2,    ///< force the 8-lane AVX2 TU (e.g. AVX2-on-AVX-512-host tests)
+  kAvx512,  ///< force the 16-lane AVX-512 TU
+};
+const char* simd_isa_name(SimdIsa isa);
+
+/// Inner-loop implementation variant of the fused plan-replay sweep — the
+/// §4.4 ablation knobs benchmarked in bench/ablation_vectorization:
+///  - kGather: hardware gathers of the interleaved In[bin], In[bin+1]
+///    pairs straight from the AoS pulse buffer; FMA arithmetic. Default.
+///  - kShuffleTranspose: one 16-byte contiguous load per lane (the four
+///    floats re0,im0,re1,im1 are adjacent in AoS) + an in-register
+///    transpose instead of gathers. Bit-identical to kGather: same
+///    arithmetic in the same order, only the load mechanism differs.
+///  - kGatherNoFma: gathers with separate mul+add in place of fused
+///    multiply-add. Different rounding, so parity with kGather is at SNR
+///    level (>70 dB), not bitwise.
+enum class KernelVariant { kAuto, kGather, kShuffleTranspose, kGatherNoFma };
+const char* kernel_variant_name(KernelVariant variant);
+
+/// True when `isa` can run here: its kernel TU is linked in AND host cpuid
+/// reports support. kScalar and kAuto are always available.
+bool asr_isa_available(SimdIsa isa);
+
+/// kAuto -> the widest usable ISA (kScalar when none). A concrete request
+/// must be available — fails with a clear PreconditionError otherwise
+/// (never SIGILL). First use also verifies the build's baseline ISA
+/// against the host (cpu.h require_compiled_isa_supported).
+SimdIsa asr_resolve_isa(SimdIsa requested);
+
+/// True when a vector (AVX2 or AVX-512) ASR kernel is usable on this host.
 bool asr_simd_available();
-/// Lane count of the compiled SIMD kernel (16, 8, or 1 when scalar only).
+/// Lane count of the widest usable SIMD kernel (16, 8, or 1 when scalar).
 int asr_simd_width();
 
 /// Maps a requested kernel to the one that will actually run on this
@@ -83,13 +122,43 @@ int asr_simd_width();
   return requested;
 }
 
-/// ASR kernel, SIMD. Falls back to the scalar kernel when no vector ISA
-/// was compiled in. Requires history.has_soa().
+/// ASR kernel, SIMD (streaming: builds each block's tables on the fly).
+/// Falls back to the scalar kernel when `isa` resolves to kScalar.
+/// Requires history.has_soa() on the vector path.
 void backproject_asr_simd(const sim::PhaseHistory& history,
                           const geometry::ImageGrid& grid,
                           const Region& region, Index pulse_begin,
                           Index pulse_end, Index block_w, Index block_h,
-                          geometry::LoopOrder order, SoaTile& out);
+                          geometry::LoopOrder order, SoaTile& out,
+                          SimdIsa isa = SimdIsa::kAuto);
+
+/// Fused plan-replay sweep: one (block, pulse) pass of the ASR inner loop
+/// reading *prebuilt* tables (the BlockTables stay resident across the
+/// whole sweep) against the AoS pulse buffer — the SIMD counterpart of
+/// kernel_asr_block.h's asr_sweep_block, sharing its signature so the
+/// service's plan executor can swap between them per backend. Under
+/// x_inner the vector rows accumulate straight into the tile (no scratch
+/// round-trip); under y_inner they accumulate into the caller-owned
+/// ws_re/ws_im workspace (resized here) and flush transposed. kScalar
+/// resolution degrades to asr_sweep_block (bit-identical to the scalar
+/// plan path). `variant` selects the inner-loop implementation; kAuto =
+/// kGather.
+///
+/// zero_ws / flush_ws let a caller replaying many pulses of one block
+/// amortize the y_inner workspace over a run of consecutive same-geometry
+/// calls (same block, same orientation): pass zero_ws only on the first
+/// call of the run and flush_ws only on the last, and the intermediate
+/// calls keep accumulating into the still-resident workspace — the fused
+/// counterpart of the streaming driver's once-per-block scratch. The
+/// defaults (both true) keep the standalone one-call semantics. Both flags
+/// are ignored under x_inner and under kScalar resolution, where nothing
+/// is ever buffered.
+void asr_plan_sweep_simd(const asr::BlockTables& tables, const CFloat* in,
+                         Index samples, bool x_inner, Index bx, Index by,
+                         Index len_l, Index len_m, SoaTile& out, SimdIsa isa,
+                         KernelVariant variant, AlignedVector<float>& ws_re,
+                         AlignedVector<float>& ws_im, bool zero_ws = true,
+                         bool flush_ws = true);
 
 /// FLOPs of one backprojection (pixel, pulse) pair in the ASR inner loop —
 /// the paper's §5.2.2 count used for efficiency figures.

@@ -1,12 +1,21 @@
-// ASR backprojection, vectorized (paper §4.4):
-//  - input pulse samples are read from the SoA planes with hardware
-//    gather instructions (In[bin] and In[bin+1], real and imaginary);
-//  - the loop-carried gamma recurrence is broken "by increasing the
-//    recurrence step size to the SIMD width": each lane carries
-//    Gamma[m]^lane and the whole vector is advanced by Gamma[m]^W;
-//  - each block accumulates into an l-contiguous scratch tile so stores
-//    stay unit-stride under either loop order, and is flushed into the
-//    thread-private output tile once per block.
+// ASR SIMD kernel dispatch (paper §4.4). The vector code itself lives in
+// the per-ISA translation units kernel_asr_avx2.cpp (-march=x86-64-v3) and
+// kernel_asr_avx512.cpp (-march=x86-64-v4); this TU is ISA-neutral and
+// picks one at runtime from host cpuid — one binary carries every width.
+// First use also fail-fasts (clear PreconditionError, never SIGILL) when
+// the build's *baseline* -march exceeds the host.
+//
+// Two drivers share the row kernels:
+//  - backproject_asr_simd: streaming — builds each (block, pulse) table on
+//    the fly, gathers from the SoA pulse planes, accumulates into an
+//    l-contiguous scratch flushed once per block;
+//  - asr_plan_sweep_simd: fused plan replay — reads tables prebuilt by the
+//    service's plan cache (resident across the whole sweep), reads samples
+//    straight from the AoS pulse buffer, and under x_inner accumulates
+//    directly into the output tile with no scratch round-trip. Under
+//    y_inner the zero_ws/flush_ws flags let the caller keep the workspace
+//    resident across a run of consecutive pulses so the zero + transposed
+//    flush amortizes per block, not per pulse.
 #include <cmath>
 #include <numbers>
 
@@ -15,283 +24,116 @@
 #include "asr/tables.h"
 #include "backprojection/kernel.h"
 #include "backprojection/kernel_asr_block.h"
+#include "backprojection/kernel_simd_ops.h"
 #include "common/aligned.h"
 #include "common/check.h"
-
-#if defined(__AVX512F__) || defined(__AVX2__)
-#include <immintrin.h>
-#endif
-
-// GCC's -Wmaybe-uninitialized fires inside the AVX-512 intrinsic headers
-// when _mm512_cvttps_epi32 is inlined here: the intrinsics deliberately
-// start from _mm512_undefined_epi32 (GCC bug 105593). Suppress just that
-// diagnostic for this translation unit so -Werror builds stay clean.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-#endif
+#include "common/cpu.h"
 
 namespace sarbp::bp {
 namespace {
 
-#if defined(__AVX512F__)
-constexpr int kSimdWidth = 16;
-#elif defined(__AVX2__)
-constexpr int kSimdWidth = 8;
+/// Host capabilities, resolved once. The first kernel call is the natural
+/// fail-fast point for baseline-vs-host mismatch: anything that got this
+/// far is about to run vector code.
+const CpuInfo& host_caps() {
+  static const CpuInfo info = [] {
+    require_compiled_isa_supported();
+    return cpu_info();
+  }();
+  return info;
+}
+
+/// Ops table for a *concrete* resolved ISA; null for kScalar (and for a
+/// vector ISA whose TU was not built into this binary).
+const detail::AsrIsaOps* ops_for(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kAvx512:
+#if SARBP_HAVE_KERNEL_AVX512
+      return &detail::asr_isa_ops_avx512();
 #else
-constexpr int kSimdWidth = 1;
+      return nullptr;
 #endif
-
-#if defined(__AVX512F__) || defined(__AVX2__)
-
-/// Per-row vector state: lane gammas and the W-step factor.
-struct GammaLanes {
-  alignas(64) float re[16];
-  alignas(64) float im[16];
-  float step_re;
-  float step_im;
-};
-
-GammaLanes make_gamma_lanes(float gam_r, float gam_i, int width) {
-  GammaLanes lanes{};
-  float gr = 1.0f;
-  float gi = 0.0f;
-  for (int lane = 0; lane < width; ++lane) {
-    lanes.re[lane] = gr;
-    lanes.im[lane] = gi;
-    const float ngr = gr * gam_r - gi * gam_i;
-    gi = gr * gam_i + gi * gam_r;
-    gr = ngr;
+    case SimdIsa::kAvx2:
+#if SARBP_HAVE_KERNEL_AVX2
+      return &detail::asr_isa_ops_avx2();
+#else
+      return nullptr;
+#endif
+    case SimdIsa::kScalar:
+    case SimdIsa::kAuto:
+      return nullptr;
   }
-  lanes.step_re = gr;  // Gamma^W
-  lanes.step_im = gi;
-  return lanes;
+  return nullptr;
 }
-
-#endif  // any SIMD
-
-#if defined(__AVX512F__)
-
-void asr_rows_avx512(const asr::BlockTables& t, const float* soa_re,
-                     const float* soa_im, Index samples, float* scratch_re,
-                     float* scratch_im, Index len_l, Index len_m) {
-  const __m512 iota = _mm512_set_ps(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4,
-                                    3, 2, 1, 0);
-  const __m512i max_bin = _mm512_set1_epi32(static_cast<int>(samples) - 1);
-  for (Index m = 0; m < len_m; ++m) {
-    const float bin_b = t.bin_b[static_cast<std::size_t>(m)];
-    const float bin_c = t.bin_c[static_cast<std::size_t>(m)];
-    const float psi_r = t.psi_re[static_cast<std::size_t>(m)];
-    const float psi_i = t.psi_im[static_cast<std::size_t>(m)];
-    const GammaLanes lanes = make_gamma_lanes(
-        t.gam_re[static_cast<std::size_t>(m)],
-        t.gam_im[static_cast<std::size_t>(m)], 16);
-    __m512 g_r = _mm512_load_ps(lanes.re);
-    __m512 g_i = _mm512_load_ps(lanes.im);
-    const __m512 step_r = _mm512_set1_ps(lanes.step_re);
-    const __m512 step_i = _mm512_set1_ps(lanes.step_im);
-    const __m512 psi_rv = _mm512_set1_ps(psi_r);
-    const __m512 psi_iv = _mm512_set1_ps(psi_i);
-    const __m512 bin_bv = _mm512_set1_ps(bin_b);
-    const __m512 bin_cv = _mm512_set1_ps(bin_c);
-    float* acc_re = scratch_re + m * len_l;
-    float* acc_im = scratch_im + m * len_l;
-    Index l = 0;
-    for (; l + 16 <= len_l; l += 16) {
-      const __m512 lvec =
-          _mm512_add_ps(iota, _mm512_set1_ps(static_cast<float>(l)));
-      const __m512 bin_av = _mm512_loadu_ps(&t.bin_a[static_cast<std::size_t>(l)]);
-      const __m512 bin =
-          _mm512_fmadd_ps(lvec, bin_cv, _mm512_add_ps(bin_av, bin_bv));
-      const __m512i ibin = _mm512_cvttps_epi32(bin);
-      const __mmask16 nonneg =
-          _mm512_cmp_ps_mask(bin, _mm512_setzero_ps(), _CMP_GE_OQ);
-      const __mmask16 inrange = _mm512_cmplt_epi32_mask(ibin, max_bin);
-      // cvttps saturates float bins beyond INT_MAX to INT_MIN; the explicit
-      // ibin >= 0 check keeps such lanes out of the gather.
-      const __mmask16 iok =
-          _mm512_cmpgt_epi32_mask(ibin, _mm512_set1_epi32(-1));
-      const __mmask16 ok = nonneg & inrange & iok;
-      const __m512 frac = _mm512_sub_ps(bin, _mm512_cvtepi32_ps(ibin));
-      const __m512i ibin1 = _mm512_add_epi32(ibin, _mm512_set1_epi32(1));
-      const __m512 zero = _mm512_setzero_ps();
-      // 4 hardware gathers: In[bin]/In[bin+1] over both SoA planes; masked
-      // lanes never touch memory and contribute exact zeros downstream.
-      const __m512 re0 = _mm512_mask_i32gather_ps(zero, ok, ibin, soa_re, 4);
-      const __m512 re1 = _mm512_mask_i32gather_ps(zero, ok, ibin1, soa_re, 4);
-      const __m512 im0 = _mm512_mask_i32gather_ps(zero, ok, ibin, soa_im, 4);
-      const __m512 im1 = _mm512_mask_i32gather_ps(zero, ok, ibin1, soa_im, 4);
-      const __m512 s_r = _mm512_fmadd_ps(frac, _mm512_sub_ps(re1, re0), re0);
-      const __m512 s_i = _mm512_fmadd_ps(frac, _mm512_sub_ps(im1, im0), im0);
-      const __m512 phi_r = _mm512_loadu_ps(&t.phi_re[static_cast<std::size_t>(l)]);
-      const __m512 phi_i = _mm512_loadu_ps(&t.phi_im[static_cast<std::size_t>(l)]);
-      // arg = Phi * Psi * gamma (two complex multiplies)
-      const __m512 t_r =
-          _mm512_fmsub_ps(phi_r, g_r, _mm512_mul_ps(phi_i, g_i));
-      const __m512 t_i =
-          _mm512_fmadd_ps(phi_r, g_i, _mm512_mul_ps(phi_i, g_r));
-      const __m512 a_r =
-          _mm512_fmsub_ps(t_r, psi_rv, _mm512_mul_ps(t_i, psi_iv));
-      const __m512 a_i =
-          _mm512_fmadd_ps(t_r, psi_iv, _mm512_mul_ps(t_i, psi_rv));
-      // gamma *= Gamma^16
-      const __m512 ng_r =
-          _mm512_fmsub_ps(g_r, step_r, _mm512_mul_ps(g_i, step_i));
-      g_i = _mm512_fmadd_ps(g_r, step_i, _mm512_mul_ps(g_i, step_r));
-      g_r = ng_r;
-      // Out += arg * sample
-      const __m512 c_r = _mm512_fmsub_ps(a_r, s_r, _mm512_mul_ps(a_i, s_i));
-      const __m512 c_i = _mm512_fmadd_ps(a_r, s_i, _mm512_mul_ps(a_i, s_r));
-      _mm512_storeu_ps(acc_re + l,
-                       _mm512_add_ps(_mm512_loadu_ps(acc_re + l), c_r));
-      _mm512_storeu_ps(acc_im + l,
-                       _mm512_add_ps(_mm512_loadu_ps(acc_im + l), c_i));
-    }
-    // Scalar tail continues the recurrence from lane 0 of the vector state.
-    float sg_r = _mm512_cvtss_f32(g_r);
-    float sg_i = _mm512_cvtss_f32(g_i);
-    const float gam_r = t.gam_re[static_cast<std::size_t>(m)];
-    const float gam_i = t.gam_im[static_cast<std::size_t>(m)];
-    for (; l < len_l; ++l) {
-      const float bin = t.bin_a[static_cast<std::size_t>(l)] + bin_b +
-                        static_cast<float>(l) * bin_c;
-      const float phi_r = t.phi_re[static_cast<std::size_t>(l)];
-      const float phi_i = t.phi_im[static_cast<std::size_t>(l)];
-      const float t_r = phi_r * sg_r - phi_i * sg_i;
-      const float t_i = phi_r * sg_i + phi_i * sg_r;
-      const float a_r = t_r * psi_r - t_i * psi_i;
-      const float a_i = t_r * psi_i + t_i * psi_r;
-      const float ng_r = sg_r * gam_r - sg_i * gam_i;
-      sg_i = sg_r * gam_i + sg_i * gam_r;
-      sg_r = ng_r;
-      if (bin >= 0.0f) {
-        const auto ib = static_cast<Index>(bin);
-        if (ib + 1 < samples) {
-          const float frac = bin - static_cast<float>(ib);
-          const float s_r = soa_re[ib] + frac * (soa_re[ib + 1] - soa_re[ib]);
-          const float s_i = soa_im[ib] + frac * (soa_im[ib + 1] - soa_im[ib]);
-          acc_re[l] += a_r * s_r - a_i * s_i;
-          acc_im[l] += a_r * s_i + a_i * s_r;
-        }
-      }
-    }
-  }
-}
-
-#elif defined(__AVX2__)
-
-void asr_rows_avx2(const asr::BlockTables& t, const float* soa_re,
-                   const float* soa_im, Index samples, float* scratch_re,
-                   float* scratch_im, Index len_l, Index len_m) {
-  const __m256 iota = _mm256_set_ps(7, 6, 5, 4, 3, 2, 1, 0);
-  const __m256i max_bin = _mm256_set1_epi32(static_cast<int>(samples) - 1);
-  for (Index m = 0; m < len_m; ++m) {
-    const float bin_b = t.bin_b[static_cast<std::size_t>(m)];
-    const float bin_c = t.bin_c[static_cast<std::size_t>(m)];
-    const float psi_r = t.psi_re[static_cast<std::size_t>(m)];
-    const float psi_i = t.psi_im[static_cast<std::size_t>(m)];
-    const GammaLanes lanes = make_gamma_lanes(
-        t.gam_re[static_cast<std::size_t>(m)],
-        t.gam_im[static_cast<std::size_t>(m)], 8);
-    __m256 g_r = _mm256_load_ps(lanes.re);
-    __m256 g_i = _mm256_load_ps(lanes.im);
-    const __m256 step_r = _mm256_set1_ps(lanes.step_re);
-    const __m256 step_i = _mm256_set1_ps(lanes.step_im);
-    const __m256 psi_rv = _mm256_set1_ps(psi_r);
-    const __m256 psi_iv = _mm256_set1_ps(psi_i);
-    const __m256 bin_bv = _mm256_set1_ps(bin_b);
-    const __m256 bin_cv = _mm256_set1_ps(bin_c);
-    float* acc_re = scratch_re + m * len_l;
-    float* acc_im = scratch_im + m * len_l;
-    Index l = 0;
-    for (; l + 8 <= len_l; l += 8) {
-      const __m256 lvec =
-          _mm256_add_ps(iota, _mm256_set1_ps(static_cast<float>(l)));
-      const __m256 bin_av = _mm256_loadu_ps(&t.bin_a[static_cast<std::size_t>(l)]);
-      const __m256 bin =
-          _mm256_fmadd_ps(lvec, bin_cv, _mm256_add_ps(bin_av, bin_bv));
-      const __m256i ibin = _mm256_cvttps_epi32(bin);
-      const __m256 nonneg =
-          _mm256_cmp_ps(bin, _mm256_setzero_ps(), _CMP_GE_OQ);
-      const __m256 inrange =
-          _mm256_castsi256_ps(_mm256_cmpgt_epi32(max_bin, ibin));
-      // Guard against cvttps saturation (INT_MIN) for out-of-range bins.
-      const __m256 iok = _mm256_castsi256_ps(
-          _mm256_cmpgt_epi32(ibin, _mm256_set1_epi32(-1)));
-      const __m256 ok = _mm256_and_ps(_mm256_and_ps(nonneg, inrange), iok);
-      const __m256 frac = _mm256_sub_ps(bin, _mm256_cvtepi32_ps(ibin));
-      const __m256i ibin1 = _mm256_add_epi32(ibin, _mm256_set1_epi32(1));
-      const __m256 zero = _mm256_setzero_ps();
-      const __m256 re0 = _mm256_mask_i32gather_ps(zero, soa_re, ibin, ok, 4);
-      const __m256 re1 = _mm256_mask_i32gather_ps(zero, soa_re, ibin1, ok, 4);
-      const __m256 im0 = _mm256_mask_i32gather_ps(zero, soa_im, ibin, ok, 4);
-      const __m256 im1 = _mm256_mask_i32gather_ps(zero, soa_im, ibin1, ok, 4);
-      const __m256 s_r = _mm256_fmadd_ps(frac, _mm256_sub_ps(re1, re0), re0);
-      const __m256 s_i = _mm256_fmadd_ps(frac, _mm256_sub_ps(im1, im0), im0);
-      const __m256 phi_r = _mm256_loadu_ps(&t.phi_re[static_cast<std::size_t>(l)]);
-      const __m256 phi_i = _mm256_loadu_ps(&t.phi_im[static_cast<std::size_t>(l)]);
-      const __m256 t_r =
-          _mm256_fmsub_ps(phi_r, g_r, _mm256_mul_ps(phi_i, g_i));
-      const __m256 t_i =
-          _mm256_fmadd_ps(phi_r, g_i, _mm256_mul_ps(phi_i, g_r));
-      const __m256 a_r =
-          _mm256_fmsub_ps(t_r, psi_rv, _mm256_mul_ps(t_i, psi_iv));
-      const __m256 a_i =
-          _mm256_fmadd_ps(t_r, psi_iv, _mm256_mul_ps(t_i, psi_rv));
-      const __m256 ng_r =
-          _mm256_fmsub_ps(g_r, step_r, _mm256_mul_ps(g_i, step_i));
-      g_i = _mm256_fmadd_ps(g_r, step_i, _mm256_mul_ps(g_i, step_r));
-      g_r = ng_r;
-      const __m256 c_r = _mm256_fmsub_ps(a_r, s_r, _mm256_mul_ps(a_i, s_i));
-      const __m256 c_i = _mm256_fmadd_ps(a_r, s_i, _mm256_mul_ps(a_i, s_r));
-      _mm256_storeu_ps(acc_re + l,
-                       _mm256_add_ps(_mm256_loadu_ps(acc_re + l), c_r));
-      _mm256_storeu_ps(acc_im + l,
-                       _mm256_add_ps(_mm256_loadu_ps(acc_im + l), c_i));
-    }
-    float sg_r = _mm256_cvtss_f32(g_r);
-    float sg_i = _mm256_cvtss_f32(g_i);
-    const float gam_r = t.gam_re[static_cast<std::size_t>(m)];
-    const float gam_i = t.gam_im[static_cast<std::size_t>(m)];
-    for (; l < len_l; ++l) {
-      const float bin = t.bin_a[static_cast<std::size_t>(l)] + bin_b +
-                        static_cast<float>(l) * bin_c;
-      const float phi_r = t.phi_re[static_cast<std::size_t>(l)];
-      const float phi_i = t.phi_im[static_cast<std::size_t>(l)];
-      const float t_r = phi_r * sg_r - phi_i * sg_i;
-      const float t_i = phi_r * sg_i + phi_i * sg_r;
-      const float a_r = t_r * psi_r - t_i * psi_i;
-      const float a_i = t_r * psi_i + t_i * psi_r;
-      const float ng_r = sg_r * gam_r - sg_i * gam_i;
-      sg_i = sg_r * gam_i + sg_i * gam_r;
-      sg_r = ng_r;
-      if (bin >= 0.0f) {
-        const auto ib = static_cast<Index>(bin);
-        if (ib + 1 < samples) {
-          const float frac = bin - static_cast<float>(ib);
-          const float s_r = soa_re[ib] + frac * (soa_re[ib + 1] - soa_re[ib]);
-          const float s_i = soa_im[ib] + frac * (soa_im[ib + 1] - soa_im[ib]);
-          acc_re[l] += a_r * s_r - a_i * s_i;
-          acc_im[l] += a_r * s_i + a_i * s_r;
-        }
-      }
-    }
-  }
-}
-
-#endif  // ISA selection
 
 }  // namespace
 
-bool asr_simd_available() { return kSimdWidth > 1; }
-int asr_simd_width() { return kSimdWidth; }
+const char* simd_isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kAuto: return "auto";
+    case SimdIsa::kScalar: return "scalar";
+    case SimdIsa::kAvx2: return "avx2";
+    case SimdIsa::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+const char* kernel_variant_name(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kAuto: return "auto";
+    case KernelVariant::kGather: return "gather";
+    case KernelVariant::kShuffleTranspose: return "shuffle";
+    case KernelVariant::kGatherNoFma: return "gather-nofma";
+  }
+  return "?";
+}
+
+bool asr_isa_available(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kAuto:
+    case SimdIsa::kScalar:
+      return true;
+    case SimdIsa::kAvx2:
+      return host_caps().avx2;
+    case SimdIsa::kAvx512:
+      return host_caps().avx512f;
+  }
+  return false;
+}
+
+SimdIsa asr_resolve_isa(SimdIsa requested) {
+  if (requested == SimdIsa::kAuto) {
+    if (host_caps().avx512f) return SimdIsa::kAvx512;
+    if (host_caps().avx2) return SimdIsa::kAvx2;
+    return SimdIsa::kScalar;
+  }
+  ensure(asr_isa_available(requested),
+         "asr_resolve_isa: requested SIMD ISA is not usable here (kernel TU "
+         "not built in, or the host cpuid lacks it); query "
+         "asr_isa_available first");
+  return requested;
+}
+
+bool asr_simd_available() {
+  return asr_resolve_isa(SimdIsa::kAuto) != SimdIsa::kScalar;
+}
+
+int asr_simd_width() { return host_caps().simd_width_floats; }
 
 void backproject_asr_simd(const sim::PhaseHistory& history,
                           const geometry::ImageGrid& grid,
                           const Region& region, Index pulse_begin,
                           Index pulse_end, Index block_w, Index block_h,
-                          geometry::LoopOrder order, SoaTile& out) {
-#if defined(__AVX512F__) || defined(__AVX2__)
-  ensure(history.has_soa(), "backproject_asr_simd: call PhaseHistory::build_soa first");
+                          geometry::LoopOrder order, SoaTile& out,
+                          SimdIsa isa) {
+  const detail::AsrIsaOps* ops = ops_for(asr_resolve_isa(isa));
+  if (ops == nullptr) {
+    backproject_asr_scalar(history, grid, region, pulse_begin, pulse_end,
+                           block_w, block_h, order, out);
+    return;
+  }
+  ensure(history.has_soa(),
+         "backproject_asr_simd: call PhaseHistory::build_soa first");
   ensure(pulse_begin >= 0 && pulse_end <= history.num_pulses() &&
              pulse_begin <= pulse_end,
          "backproject_asr_simd: pulse range out of bounds");
@@ -309,8 +151,10 @@ void backproject_asr_simd(const sim::PhaseHistory& history,
 
   for (const auto& block : blocks) {
     const geometry::Vec3 centre = grid.position_f(
-        static_cast<double>(block.x0) + 0.5 * static_cast<double>(block.width - 1),
-        static_cast<double>(block.y0) + 0.5 * static_cast<double>(block.height - 1));
+        static_cast<double>(block.x0) +
+            0.5 * static_cast<double>(block.width - 1),
+        static_cast<double>(block.y0) +
+            0.5 * static_cast<double>(block.height - 1));
     const Index len_l = x_inner ? block.width : block.height;
     const Index len_m = x_inner ? block.height : block.width;
     const Index bx = block.x0 - region.x0;
@@ -322,17 +166,12 @@ void backproject_asr_simd(const sim::PhaseHistory& history,
       const auto& meta = history.meta(p);
       const asr::Quadratic2D q =
           block_range_quadratic(centre, meta.position, grid.spacing(), order);
-      asr::build_block_tables_fast(q, meta.start_range_m, history.bin_spacing(),
-                              two_pi_k, len_l, len_m, tables);
-      const float* soa_re = history.pulse_re(p).data();
-      const float* soa_im = history.pulse_im(p).data();
-#if defined(__AVX512F__)
-      asr_rows_avx512(tables, soa_re, soa_im, samples, scratch_re.data(),
-                      scratch_im.data(), len_l, len_m);
-#else
-      asr_rows_avx2(tables, soa_re, soa_im, samples, scratch_re.data(),
-                    scratch_im.data(), len_l, len_m);
-#endif
+      asr::build_block_tables_fast(q, meta.start_range_m,
+                                   history.bin_spacing(), two_pi_k, len_l,
+                                   len_m, tables);
+      ops->rows_soa(tables, history.pulse_re(p).data(),
+                    history.pulse_im(p).data(), samples, scratch_re.data(),
+                    scratch_im.data(), len_l, len_l, len_m);
     }
 
     // Flush the block scratch into the thread tile under the (l, m) ->
@@ -359,10 +198,50 @@ void backproject_asr_simd(const sim::PhaseHistory& history,
       }
     }
   }
-#else
-  backproject_asr_scalar(history, grid, region, pulse_begin, pulse_end,
-                         block_w, block_h, order, out);
-#endif
+}
+
+void asr_plan_sweep_simd(const asr::BlockTables& tables, const CFloat* in,
+                         Index samples, bool x_inner, Index bx, Index by,
+                         Index len_l, Index len_m, SoaTile& out, SimdIsa isa,
+                         KernelVariant variant, AlignedVector<float>& ws_re,
+                         AlignedVector<float>& ws_im, bool zero_ws,
+                         bool flush_ws) {
+  const detail::AsrIsaOps* ops = ops_for(asr_resolve_isa(isa));
+  if (ops == nullptr) {
+    // Scalar resolution: bit-identical to the plan executor's scalar path.
+    asr_sweep_block(tables, in, samples, x_inner, bx, by, len_l, len_m, out);
+    return;
+  }
+  // With fewer than two samples no bin is interpolable (every lane is
+  // masked); returning early also keeps the shuffle variant's clamped
+  // dummy loads in bounds. Safe under run batching: `samples` is constant
+  // across a history, so the whole run bails out and nothing is flushed.
+  if (samples < 2) return;
+  if (x_inner) {
+    // l walks x: rows are contiguous in the tile, so accumulate the vector
+    // rows in place with the tile width as the row pitch.
+    ops->rows_aos(tables, in, samples, out.row_re(by) + bx,
+                  out.row_im(by) + bx, out.width(), len_l, len_m, variant);
+    return;
+  }
+  // l walks y: accumulate l-contiguous rows into the workspace, and flush
+  // transposed at the end of the run (same structure as the streaming
+  // kernel's once-per-block scratch).
+  if (zero_ws) {
+    ws_re.assign(static_cast<std::size_t>(len_l * len_m), 0.0f);
+    ws_im.assign(static_cast<std::size_t>(len_l * len_m), 0.0f);
+  }
+  ops->rows_aos(tables, in, samples, ws_re.data(), ws_im.data(), len_l,
+                len_l, len_m, variant);
+  if (!flush_ws) return;
+  for (Index m = 0; m < len_m; ++m) {
+    const float* src_re = ws_re.data() + m * len_l;
+    const float* src_im = ws_im.data() + m * len_l;
+    for (Index l = 0; l < len_l; ++l) {
+      out.row_re(by + l)[bx + m] += src_re[l];
+      out.row_im(by + l)[bx + m] += src_im[l];
+    }
+  }
 }
 
 }  // namespace sarbp::bp

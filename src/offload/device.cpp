@@ -22,4 +22,16 @@ DeviceSpec knights_corner() {
   return spec;
 }
 
+double simulated_compute_seconds(const DeviceSpec& device,
+                                 const DeviceSpec& host_model,
+                                 double measured_host_seconds) {
+  return measured_host_seconds *
+         (host_model.effective_gflops() / device.effective_gflops());
+}
+
+double modeled_transfer_seconds(const DeviceSpec& device, double bytes) {
+  if (device.is_host) return 0.0;
+  return bytes / (device.pcie_gbps * 1e9);
+}
+
 }  // namespace sarbp::offload

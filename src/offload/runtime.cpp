@@ -62,9 +62,8 @@ OffloadReport OffloadRuntime::form_image(const sim::PhaseHistory& history,
   }
   row_begin.back() = grid_.height();
 
-  const double host_effective = config_.use_host_compute
-                                    ? config_.host.effective_gflops()
-                                    : xeon_e5_2670_dual().effective_gflops();
+  const DeviceSpec host_model =
+      config_.use_host_compute ? config_.host : xeon_e5_2670_dual();
 
   // Kick off the real asynchronous staging copy of the pulse batch (the
   // #pragma offload_transfer analogue): the I/O thread memcpys while the
@@ -88,9 +87,10 @@ OffloadReport OffloadRuntime::form_image(const sim::PhaseHistory& history,
                                      history.num_pulses(), out);
     const double measured = timer.seconds();
     // Simulated executor time: the measured host time rescaled to the
-    // executor's effective rate relative to the host model.
-    const double scale = host_effective / specs_[i].effective_gflops();
-    const double simulated = measured * scale;
+    // executor's effective rate relative to the host model (shared with
+    // the exec layer's OffloadSimBackend).
+    const double simulated =
+        simulated_compute_seconds(specs_[i], host_model, measured);
     report.executor_seconds[i] = simulated;
 
     const double work = static_cast<double>(region.pixels()) *
@@ -118,7 +118,7 @@ OffloadReport OffloadRuntime::form_image(const sim::PhaseHistory& history,
         static_cast<double>(grid_.width()) *
         static_cast<double>(row_begin[i + 1] - row_begin[i]) * sizeof(CFloat);
     const double seconds =
-        (in_bytes + out_bytes) / (specs_[i].pcie_gbps * 1e9);
+        modeled_transfer_seconds(specs_[i], in_bytes + out_bytes);
     worst_transfer = std::max(worst_transfer, seconds);
   }
   report.transfer_seconds = worst_transfer;

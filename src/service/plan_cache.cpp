@@ -8,6 +8,7 @@
 #include "backprojection/kernel_asr_block.h"
 #include "backprojection/partition.h"
 #include "common/check.h"
+#include "common/timer.h"
 
 namespace sarbp::service {
 namespace {
@@ -168,13 +169,32 @@ bool execute_plan(const FormationPlan& plan, const sim::PhaseHistory& history,
   return true;
 }
 
+namespace {
+
+/// exec-layer projection of a plan (see exec/tile_backend.h). Valid while
+/// the plan lives — the task lambdas own a shared_ptr to it.
+exec::PlanView plan_view(const FormationPlan& plan) {
+  exec::PlanView view;
+  view.blocks = plan.blocks.data();
+  view.num_blocks = static_cast<Index>(plan.blocks.size());
+  view.pulse_order = plan.pulse_order.data();
+  view.num_pulses = plan.num_pulses();
+  view.tables = plan.tables.data();
+  view.region_x0 = plan.key.region.x0;
+  view.region_y0 = plan.key.region.y0;
+  return view;
+}
+
+}  // namespace
+
 exec::GroupPtr make_plan_replay_group(
     std::shared_ptr<const FormationPlan> plan,
     std::shared_ptr<const sim::PhaseHistory> history, int parallelism,
     Index tile_tasks, std::shared_ptr<bp::SoaTile> tile,
     std::function<bool()> checkpoint,
     std::function<void(exec::TaskGroup&)> on_complete,
-    Index pulse_begin, Index pulse_end) {
+    Index pulse_begin, Index pulse_end,
+    std::shared_ptr<exec::BackendSet> backends) {
   ensure(plan != nullptr && history != nullptr && tile != nullptr,
          "make_plan_replay_group: null plan/history/tile");
   ensure(history->num_pulses() == plan->num_pulses(),
@@ -198,34 +218,83 @@ exec::GroupPtr make_plan_replay_group(
 
   std::vector<exec::TaskGroup::Task> tasks;
   tasks.reserve(static_cast<std::size_t>(fanout));
-  for (Index ti = 0; ti < fanout; ++ti) {
-    const Index b0 = bp::split_begin(nblocks, fanout, ti);
-    const Index b1 = bp::split_begin(nblocks, fanout, ti + 1);
-    tasks.push_back([plan, history, tile, checkpoint, b0, b1, pulse_begin,
-                     pulse_end](int, exec::TaskGroup& group) {
-      const Index samples = history->samples_per_pulse();
-      for (Index b = b0; b < b1; ++b) {
-        // Same granularity as execute_plan: one cancellation poll per
-        // block sweep, not per task.
-        if (checkpoint && !checkpoint()) {
-          group.abort();
-          return;
+
+  if (backends == nullptr) {
+    // Direct scalar-sweep path, exactly as before backends existed.
+    for (Index ti = 0; ti < fanout; ++ti) {
+      const Index b0 = bp::split_begin(nblocks, fanout, ti);
+      const Index b1 = bp::split_begin(nblocks, fanout, ti + 1);
+      tasks.push_back([plan, history, tile, checkpoint, b0, b1, pulse_begin,
+                       pulse_end](int, exec::TaskGroup& group) {
+        const Index samples = history->samples_per_pulse();
+        for (Index b = b0; b < b1; ++b) {
+          // Same granularity as execute_plan: one cancellation poll per
+          // block sweep, not per task.
+          if (checkpoint && !checkpoint()) {
+            group.abort();
+            return;
+          }
+          const auto& block = plan->blocks[static_cast<std::size_t>(b)];
+          const Index bx = block.x0 - plan->key.region.x0;
+          const Index by = block.y0 - plan->key.region.y0;
+          for (Index p = pulse_begin; p < pulse_end; ++p) {
+            const bool x_inner =
+                plan->pulse_order[static_cast<std::size_t>(p)] ==
+                geometry::LoopOrder::kXInner;
+            const Index len_l = x_inner ? block.width : block.height;
+            const Index len_m = x_inner ? block.height : block.width;
+            bp::asr_sweep_block(
+                plan->tables_for(static_cast<std::size_t>(b), p),
+                history->pulse(p).data(), samples, x_inner, bx, by, len_l,
+                len_m, *tile);
+          }
         }
-        const auto& block = plan->blocks[static_cast<std::size_t>(b)];
-        const Index bx = block.x0 - plan->key.region.x0;
-        const Index by = block.y0 - plan->key.region.y0;
-        for (Index p = pulse_begin; p < pulse_end; ++p) {
-          const bool x_inner =
-              plan->pulse_order[static_cast<std::size_t>(p)] ==
-              geometry::LoopOrder::kXInner;
-          const Index len_l = x_inner ? block.width : block.height;
-          const Index len_m = x_inner ? block.height : block.width;
-          bp::asr_sweep_block(plan->tables_for(static_cast<std::size_t>(b), p),
-                              history->pulse(p).data(), samples, x_inner, bx,
-                              by, len_l, len_m, *tile);
-        }
+      });
+    }
+  } else {
+    // Backend routing (§5.3): each backend owns a contiguous block range
+    // sized by the current dynamic split, sub-divided into tasks in
+    // proportion to its share of the fan-out. Each task times its whole
+    // sweep and feeds the backend's observed-rate tracker, which steers
+    // the *next* job's partition.
+    const std::vector<Index> bounds = backends->partition(nblocks);
+    const Index pulses = pulse_end - pulse_begin;
+    for (int k = 0; k < backends->size(); ++k) {
+      const Index k0 = bounds[static_cast<std::size_t>(k)];
+      const Index k1 = bounds[static_cast<std::size_t>(k) + 1];
+      if (k0 >= k1) continue;
+      const Index kblocks = k1 - k0;
+      const Index ktasks = std::clamp<Index>(
+          static_cast<Index>(std::llround(static_cast<double>(fanout) *
+                                          static_cast<double>(kblocks) /
+                                          static_cast<double>(nblocks))),
+          1, kblocks);
+      for (Index ti = 0; ti < ktasks; ++ti) {
+        const Index b0 = k0 + bp::split_begin(kblocks, ktasks, ti);
+        const Index b1 = k0 + bp::split_begin(kblocks, ktasks, ti + 1);
+        exec::TileBackend* backend = &backends->backend(k);
+        tasks.push_back([plan, history, tile, checkpoint, backends, backend,
+                         b0, b1, pulse_begin, pulse_end,
+                         pulses](int, exec::TaskGroup& group) {
+          const exec::PlanView view = plan_view(*plan);
+          Timer timer;
+          double backprojections = 0.0;
+          for (Index b = b0; b < b1; ++b) {
+            if (checkpoint && !checkpoint()) {
+              group.abort();
+              return;
+            }
+            const auto& block = plan->blocks[static_cast<std::size_t>(b)];
+            backend->sweep_block(view, *history, b, pulse_begin, pulse_end,
+                                 *tile);
+            backprojections += static_cast<double>(block.width) *
+                               static_cast<double>(block.height) *
+                               static_cast<double>(pulses);
+          }
+          backend->record(backprojections, timer.seconds());
+        });
       }
-    });
+    }
   }
 
   return std::make_shared<exec::TaskGroup>(

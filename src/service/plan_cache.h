@@ -32,6 +32,7 @@
 #include "backprojection/soa_tile.h"
 #include "common/region.h"
 #include "exec/task_group.h"
+#include "exec/tile_backend.h"
 #include "common/types.h"
 #include "geometry/grid.h"
 #include "geometry/wavefront.h"
@@ -120,13 +121,22 @@ bool execute_plan(const FormationPlan& plan, const sim::PhaseHistory& history,
 /// sharded service: each shard replays its range of the same full-region
 /// plan and the gather sums the partial tiles (shard-index order, the
 /// documented reduction-order deviation from the single-node path).
+///
+/// `backends` (nullable) routes the plan's blocks across a BackendSet by
+/// its §5.3 dynamic split: each backend gets a contiguous block range,
+/// sub-divided into tasks proportional to its share, and each task's
+/// measured sweep feeds the backend's observed-rate tracker. Null keeps
+/// the direct scalar-sweep path — the exact PR 3 code — and a set holding
+/// only scalar backends is still byte-identical to it (disjoint block
+/// rectangles; same per-block pulse order).
 [[nodiscard]] exec::GroupPtr make_plan_replay_group(
     std::shared_ptr<const FormationPlan> plan,
     std::shared_ptr<const sim::PhaseHistory> history, int parallelism,
     Index tile_tasks, std::shared_ptr<bp::SoaTile> tile,
     std::function<bool()> checkpoint,
     std::function<void(exec::TaskGroup&)> on_complete,
-    Index pulse_begin = 0, Index pulse_end = -1);
+    Index pulse_begin = 0, Index pulse_end = -1,
+    std::shared_ptr<exec::BackendSet> backends = nullptr);
 
 /// Thread-safe LRU cache of formation plans.
 ///

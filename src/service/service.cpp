@@ -50,6 +50,10 @@ ImageFormationService::ImageFormationService(ServiceConfig config)
     router_ = std::make_unique<ShardRouter>(std::move(router_config));
     route_thread_ = std::thread([this] { route_loop(); });
   } else {
+    if (!config_.backends.empty()) {
+      backend_set_ = std::make_shared<exec::BackendSet>(
+          config_.backends, config_.backend_rate_smoothing, metrics_);
+    }
     exec::ExecOptions exec_options;
     exec_options.workers = config_.workers;
     exec_options.steal = config_.steal;
@@ -288,7 +292,8 @@ exec::GroupPtr ImageFormationService::build_job_group(const JobPtr& job) {
   return make_plan_replay_group(std::move(plan), request.pulses,
                                 config_.workers, config_.tile_tasks,
                                 std::move(tile), std::move(checkpoint),
-                                std::move(done));
+                                std::move(done), /*pulse_begin=*/0,
+                                /*pulse_end=*/-1, backend_set_);
 }
 
 }  // namespace sarbp::service

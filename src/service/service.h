@@ -35,9 +35,11 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/thread_annotations.h"
 #include "exec/executor.h"
+#include "exec/tile_backend.h"
 #include "obs/metrics.h"
 #include "service/fair_queue.h"
 #include "service/job.h"
@@ -105,6 +107,17 @@ struct ServiceConfig {
   /// Metrics sink; null selects the process-global obs::registry(). Must
   /// outlive the service and every handle it issued.
   obs::Registry* metrics = nullptr;
+
+  // --- tile compute backends (local mode) --------------------------------
+  /// Backends the plan-replay tasks target, with blocks routed by the §5.3
+  /// dynamic split from observed per-backend rates (exec/tile_backend.h).
+  /// Empty keeps the direct scalar-sweep path — byte-identical to the
+  /// pre-backend executor, as is a list holding only kHostScalar entries.
+  /// Ignored in sharded mode (shards >= 2), where the ranks replay plans
+  /// themselves.
+  std::vector<exec::BackendSpec> backends;
+  /// EMA weight for each backend's observed-rate tracker.
+  double backend_rate_smoothing = 0.5;
 
   // --- weighted-fair scheduling ------------------------------------------
   /// Policy for tenants without an explicit entry (and the empty tenant).
@@ -201,6 +214,10 @@ class ImageFormationService {
   obs::Histogram* queue_s_ = nullptr;
   obs::Histogram* setup_s_ = nullptr;
   obs::Histogram* compute_s_ = nullptr;
+
+  /// Null unless config_.backends is non-empty (local mode); shared with
+  /// every plan-replay group so observed rates outlive individual jobs.
+  std::shared_ptr<exec::BackendSet> backend_set_;
 
   /// Constructed last: their workers claim from sched_ and touch every
   /// member above. Destroyed first (drain) for the same reason. Exactly

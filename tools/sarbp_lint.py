@@ -22,6 +22,16 @@ Rules (names are what `// lint: allow(<rule>)` suppressions refer to):
                   pacing sleeps need an explicit suppression explaining why
                   nothing could notify them.
 
+  isa-ifdef       No raw `#ifdef __AVX2__` / `__AVX512*` conditionals in
+                  src/ outside the per-ISA kernel translation units
+                  (src/backprojection/kernel_asr_avx2.cpp, _avx512.cpp).
+                  ISA selection is a *runtime* decision routed through
+                  bp::asr_resolve_isa / common/cpu.h; compile-time macro
+                  branches reintroduce the one-binary-one-width builds the
+                  dispatcher exists to kill. Capability *reporting* (cpu.cpp
+                  telling you what the build's baseline was) carries
+                  explicit suppressions.
+
   queue-result    In src/service and src/cluster, BoundedQueue push/pop
                   family results and Communicator recv-family results must
                   not be discarded — neither as a bare expression statement
@@ -78,9 +88,22 @@ MAILBOX_DISCARD_RE = re.compile(
     r"(?:recv_value|recv_vec|recv)\s*(?:<[^;(]*>)?\s*\("
 )
 
+# A compile-time vector-ISA conditional: `__AVX2__` / `__AVX512F__` etc.
+# in any preprocessor or defined() context. The per-ISA kernel TUs are the
+# only places allowed to assume a width at compile time.
+ISA_IFDEF_RE = re.compile(r"\b__AVX(?:2|512[A-Z]*)__\b")
+
+# The per-ISA kernel TUs: each is compiled with its own explicit -march,
+# so compile-time ISA macros are their raison d'être.
+ISA_TU_ALLOWLIST = (
+    "src/backprojection/kernel_asr_avx2.cpp",
+    "src/backprojection/kernel_asr_avx512.cpp",
+)
+
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)\s*(--\s*\S.*)?")
 
-RULES = ("order-comment", "raw-mutex", "sleep-poll", "queue-result")
+RULES = ("order-comment", "raw-mutex", "sleep-poll", "isa-ifdef",
+         "queue-result")
 
 
 @dataclass
@@ -201,6 +224,15 @@ def scan_file(path: pathlib.Path, text: str) -> list[Finding]:
                     "sarbp::Mutex/MutexLock/CondVar wrappers "
                     "(src/common/thread_annotations.h)"))
 
+        if (in_src and path.as_posix() not in ISA_TU_ALLOWLIST
+                and ISA_IFDEF_RE.search(code)):
+            if "isa-ifdef" not in allowed:
+                findings.append(Finding(
+                    rel, i + 1, "isa-ifdef",
+                    "compile-time vector-ISA macro outside the per-ISA "
+                    "kernel TUs; route ISA selection through "
+                    "bp::asr_resolve_isa / common/cpu.h at runtime"))
+
         if in_src and SLEEP_RE.search(code):
             if "sleep-poll" not in allowed:
                 findings.append(Finding(
@@ -290,6 +322,15 @@ SELFTEST_CASES = [
      "// lint: allow(sleep-poll) -- pacing\n"
      "std::this_thread::sleep_for(1ms);\n",
      []),
+    ("src/d.cpp", "#ifdef __AVX2__\n#endif\n", ["isa-ifdef"]),
+    ("src/d.cpp", "#if defined(__AVX512F__) && defined(__AVX512VL__)\n",
+     ["isa-ifdef"]),
+    ("src/backprojection/kernel_asr_avx2.cpp", "#ifdef __AVX2__\n", []),
+    ("src/backprojection/kernel_asr_avx512.cpp", "#ifdef __AVX512F__\n", []),
+    ("src/d.cpp",
+     "#ifdef __AVX2__  // lint: allow(isa-ifdef) -- baseline reporting\n",
+     []),
+    ("tests/d.cpp", "#ifdef __AVX2__\n", []),  # tests are out of scope
     ("src/service/s.cpp", "queue_.push(std::move(x));\n", ["queue-result"]),
     ("src/service/s.cpp", "(void)queue_.try_pop();\n", ["queue-result"]),
     ("src/service/s.cpp", "if (!queue_.push(x)) return;\n", []),
