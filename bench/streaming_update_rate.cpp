@@ -1,0 +1,166 @@
+// Streaming update-rate sweep (DESIGN.md §13): window size x delta-pulses
+// x sub-aperture cache on/off. Each configuration replays the same chunk
+// stream through two consecutive StreamSessions sharing one cache — the
+// first populates it, the second (the measured one) is the
+// overlapping-window / concurrent-session case the cache exists for. With
+// the cache off the second session re-sweeps every chunk, so the
+// cache-on/cache-off pair isolates the partial-image reuse.
+//
+// The ops columns are the obs-counter observable from the acceptance
+// test: incremental (pixel, pulse) sweep operations actually performed
+// vs the O(full) cost of reforming the whole window every update.
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "service/service.h"
+#include "sim/phase_history.h"
+#include "streaming/streaming.h"
+#include "streaming/subaperture_cache.h"
+
+namespace {
+
+using namespace sarbp;
+
+std::vector<Index> parse_index_list(const std::string& spec,
+                                    std::vector<Index> fallback) {
+  std::vector<Index> values;
+  std::string current;
+  for (const char c : spec + ",") {
+    if (c == ',') {
+      if (!current.empty()) values.push_back(std::atol(current.c_str()));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  return values.empty() ? fallback : values;
+}
+
+sim::PhaseHistory slice(const sim::PhaseHistory& h, Index p0, Index p1) {
+  sim::PhaseHistory out(p1 - p0, h.samples_per_pulse(), h.bin_spacing(),
+                        h.wavenumber());
+  for (Index p = p0; p < p1; ++p) {
+    const auto src = h.pulse(p);
+    std::copy(src.begin(), src.end(), out.pulse(p - p0).begin());
+    out.meta(p - p0) = h.meta(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const Index image = args.get("ix", 96);
+  const Index block = args.get("block", 32);
+  const int updates = static_cast<int>(args.get("updates", 16));
+  const int workers = static_cast<int>(args.get("workers", 2));
+  const int reanchor = static_cast<int>(args.get("reanchor", 0));
+  const std::vector<Index> windows =
+      parse_index_list(args.gets("windows"), {4, 8});
+  const std::vector<Index> deltas =
+      parse_index_list(args.gets("deltas"), {4, 16});
+  const bench::RepeatSpec spec = bench::repeat_spec(args);
+  bench::JsonReporter json("streaming_update_rate", spec);
+
+  bench::print_header("Streaming update rate - window x delta x cache");
+  std::printf("image %lldx%lld, block %lld, %d updates/session, %d workers, "
+              "re-anchor %s\n",
+              static_cast<long long>(image), static_cast<long long>(image),
+              static_cast<long long>(block), updates, workers,
+              reanchor > 0 ? std::to_string(reanchor).c_str() : "off");
+  std::printf("\n%6s %6s %6s %12s %6s %14s %14s %8s\n", "window", "delta",
+              "cache", "updates/s", "hits", "ops(stream)", "ops(full)",
+              "saving");
+  bench::print_rule();
+
+  for (const Index window : windows) {
+    for (const Index delta : deltas) {
+      const auto scenario = bench::make_bench_scenario(
+          image, static_cast<Index>(updates) * delta);
+      // O(full) baseline: reforming the whole applied window on every
+      // update — window u holds min(u, window) chunks of `delta` pulses.
+      std::uint64_t full_ops = 0;
+      for (int u = 1; u <= updates; ++u) {
+        full_ops += static_cast<std::uint64_t>(image) *
+                    static_cast<std::uint64_t>(image) *
+                    static_cast<std::uint64_t>(
+                        std::min<Index>(static_cast<Index>(u), window) * delta);
+      }
+      for (const bool cache_on : {false, true}) {
+        streaming::StreamStats warm_stats;
+        const bench::SampleStats rate = bench::run_repeated(spec, [&] {
+          streaming::SubApertureCacheConfig cache_config;
+          cache_config.capacity = static_cast<std::size_t>(updates) * 2;
+          streaming::SubApertureCache cache(cache_config);
+
+          service::ServiceConfig sc;
+          sc.workers = workers;
+          service::ImageFormationService srv(sc);
+
+          streaming::StreamConfig config;
+          config.grid = scenario.grid;
+          config.asr_block_w = config.asr_block_h = block;
+          config.chunk_pulses = delta;
+          config.window_chunks = window;
+          config.reanchor_interval = reanchor;
+          if (cache_on) config.cache = &cache;
+
+          // Populate pass: the first session on this scene sweeps every
+          // chunk and (cache on) fills the shared partial cache.
+          {
+            streaming::StreamSession cold = streaming::open_stream(srv, config);
+            for (int u = 0; u < updates; ++u) {
+              cold.push(slice(scenario.history, u * delta, (u + 1) * delta));
+            }
+            cold.wait_idle(std::chrono::minutes(5));
+            cold.close();
+          }
+          // Measured pass: a second session replaying the same stream —
+          // every non-anchor update hits the warm cache.
+          streaming::StreamSession warm = streaming::open_stream(srv, config);
+          Timer t;
+          for (int u = 0; u < updates; ++u) {
+            warm.push(slice(scenario.history, u * delta, (u + 1) * delta));
+          }
+          warm.wait_idle(std::chrono::minutes(5));
+          const double seconds = t.seconds();
+          warm_stats = warm.stats();
+          warm.close();
+          return static_cast<double>(warm_stats.updates_completed) / seconds;
+        });
+        const std::uint64_t stream_ops = warm_stats.backprojections;
+        char saving[32];
+        if (stream_ops > 0) {
+          std::snprintf(saving, sizeof(saving), "%7.1fx",
+                        static_cast<double>(full_ops) /
+                            static_cast<double>(stream_ops));
+        } else {
+          // All-hit replay: zero sweeps performed.
+          std::snprintf(saving, sizeof(saving), "%8s", "all-hit");
+        }
+        std::printf(
+            "%6lld %6lld %6s %12.1f %6llu %14llu %14llu %s\n",
+            static_cast<long long>(window), static_cast<long long>(delta),
+            cache_on ? "on" : "off", rate.median,
+            static_cast<unsigned long long>(warm_stats.cache_hits),
+            static_cast<unsigned long long>(stream_ops),
+            static_cast<unsigned long long>(full_ops), saving);
+        json.add("update_rate",
+                 {{"image", std::to_string(image)},
+                  {"window", std::to_string(window)},
+                  {"delta", std::to_string(delta)},
+                  {"cache", cache_on ? "on" : "off"},
+                  {"updates", std::to_string(updates)}},
+                 "updates/s", rate);
+      }
+    }
+  }
+  std::printf("\n(streaming is O(delta) per update vs O(window*delta) per full "
+              "reform; the saving column is the measured op ratio)\n");
+  return 0;
+}

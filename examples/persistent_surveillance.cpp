@@ -1,103 +1,160 @@
-// Persistent surveillance (the paper's motivating application, Fig. 2):
-// a streaming pipeline that forms one image per pulse batch, registers it
-// to a reference, runs coherent change detection, and reports CFAR
-// detections — while a target appears and later disappears in the scene.
+// Persistent surveillance (the paper's motivating application, Fig. 2),
+// now on the streaming sliding-aperture subsystem (DESIGN.md §13): pulses
+// arrive continuously, the live image tracks the last W sub-aperture
+// chunks by incremental add/subtract updates, and a transient target
+// brightens as its chunks enter the window and fades as they slide out.
 //
-// Demonstrates: SurveillancePipeline, repeat-pass collection geometry,
-// incremental accumulation, and the threaded stage structure with bounded
-// queues (compute overlapped with ingest).
+// Demonstrates: StreamSession ingestion, sliding-window snapshots,
+// per-update deadlines, periodic re-anchoring, and the shared
+// SubApertureCache (a second pass over the same scene hits it).
 //
 // Build & run:  ./build/examples/persistent_surveillance
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 
 #include "common/rng.h"
 #include "geometry/trajectory.h"
-#include "pipeline/pipeline.h"
+#include "service/service.h"
 #include "sim/collector.h"
 #include "sim/scene.h"
+#include "streaming/streaming.h"
+#include "streaming/subaperture_cache.h"
 
 int main() {
   using namespace sarbp;
-  using namespace sarbp::pipeline;
+  using namespace std::chrono_literals;
 
-  const Index image = 128;
-  const Index pulses_per_frame = 96;
-  const int frames = 5;
+  const Index image = 96;
+  const Index chunk_pulses = 16;
+  const Index window_chunks = 4;
+  const int chunks = 12;
 
   const geometry::ImageGrid grid(image, image, 0.5);
 
   // Scene: dense coherent clutter + a vehicle-like target that parks at
-  // t = 1.5 s and leaves at t = 3.5 s (present in frames 2 and 3).
+  // t = 1.0 s and leaves at t = 2.0 s — roughly chunks 5..9 of the pass.
   Rng rng(42);
   sim::ReflectorScene scene = sim::make_clutter_field(grid, 4, 1.0, rng);
+  const Index tx = 66;
+  const Index ty = 30;
   sim::Reflector target;
-  target.position = grid.position(88, 40);
-  target.amplitude = 8.0;
-  target.appear_s = 1.5;
-  target.disappear_s = 3.5;
+  target.position = grid.position(tx, ty);
+  target.amplitude = 12.0;
+  target.appear_s = 1.0;
+  target.disappear_s = 2.0;
   scene.add(target);
   std::printf("scene: %zu clutter reflectors + 1 transient target at pixel "
-              "(88, 40), present in frames 2-3\n",
-              scene.size() - 1);
+              "(%lld, %lld), parked t = 1..2 s\n",
+              scene.size() - 1, static_cast<long long>(tx),
+              static_cast<long long>(ty));
 
-  // Repeat-pass orbit: each frame revisits the same aspect angles (one
-  // pass per second), which keeps the clutter coherent between frames.
+  // One continuous pass; the %.0f Hz PRF makes each %lld-pulse chunk
+  // cover a fixed slice of slow time.
   geometry::OrbitParams orbit;
   orbit.radius_m = 40000.0;
   orbit.altitude_m = 8000.0;
-  orbit.angular_rate_rad_s = 0.066;
-  orbit.prf_hz = 400.0;
+  orbit.angular_rate_rad_s = 0.02;
+  orbit.prf_hz = 64.0;
   geometry::TrajectoryErrorModel errors;
   errors.perturbation_sigma_m = 0.03;
-
-  PipelineConfig config;
-  config.accumulation_factor = 0;   // one batch per frame (repeat-pass CCD)
-  config.registration.patch = 31;
-  config.ccd.window = 9;
-  config.cfar.window = 17;
-  config.cfar.guard = 5;
-  config.cfar.candidate_correlation = 0.75;
-  config.cfar.scale = 2.5;
-  SurveillancePipeline pipeline(grid, config);
-
+  Rng pass_rng(7);
+  const auto poses = geometry::circular_orbit(
+      orbit, errors, chunk_pulses * static_cast<Index>(chunks), pass_rng);
   sim::CollectorParams collector;
-  for (int f = 0; f < frames; ++f) {
-    Rng pass_rng(100 + static_cast<std::uint64_t>(f));
-    auto poses =
-        geometry::circular_orbit(orbit, errors, pulses_per_frame, pass_rng);
-    for (auto& pose : poses) pose.time_s += f;  // pass f flies at t ~ f s
-    Rng col_rng(200 + static_cast<std::uint64_t>(f));
-    pipeline.push_pulses(sim::collect(collector, grid, scene, poses, col_rng));
-  }
-  pipeline.close_input();
+  Rng col_rng(11);
+  const sim::PhaseHistory history =
+      sim::collect(collector, grid, scene, poses, col_rng);
 
-  std::printf("\n%-6s %-10s %-12s %-36s\n", "frame", "role", "detections",
-              "strongest detection");
-  std::printf("--------------------------------------------------------------\n");
-  while (auto frame = pipeline.pop_result()) {
-    if (frame->is_reference) {
-      std::printf("%-6lld %-10s %-12s %-36s\n",
-                  static_cast<long long>(frame->frame), "reference", "-", "-");
-      continue;
+  // The serving stack underneath: the session's updates are ordinary
+  // (custom) jobs with fair queueing, deadlines, and cancellation.
+  service::ServiceConfig sc;
+  sc.workers = 2;
+  service::ImageFormationService srv(sc);
+
+  streaming::SubApertureCache cache;
+
+  streaming::StreamConfig config;
+  config.grid = grid;
+  config.asr_block_w = config.asr_block_h = 32;
+  config.chunk_pulses = chunk_pulses;
+  config.window_chunks = window_chunks;
+  config.reanchor_interval = 6;    // bound the add/subtract drift
+  config.update_deadline = 10s;    // a missed deadline drops that update
+  config.cache = &cache;
+  streaming::StreamSession session = streaming::open_stream(srv, config);
+
+  std::printf("\nstreaming: %lld-pulse chunks, window = last %lld chunks, "
+              "re-anchor every %d updates\n",
+              static_cast<long long>(chunk_pulses),
+              static_cast<long long>(window_chunks), config.reanchor_interval);
+  std::printf("\n%6s %8s %8s %10s %14s %s\n", "update", "window", "anchor",
+              "latency", "target |px|", "target");
+  std::printf("----------------------------------------------------------------\n");
+
+  // Continuous source: push pulse-by-pulse; every filled chunk becomes
+  // one incremental update.
+  Index pulse = 0;
+  for (int c = 0; c < chunks; ++c) {
+    sim::PhaseHistory delta(chunk_pulses, history.samples_per_pulse(),
+                            history.bin_spacing(), history.wavenumber());
+    for (Index p = 0; p < chunk_pulses; ++p, ++pulse) {
+      const auto src = history.pulse(pulse);
+      std::copy(src.begin(), src.end(), delta.pulse(p).begin());
+      delta.meta(p) = history.meta(pulse);
     }
-    const Detection* best = nullptr;
-    for (const auto& d : frame->cfar.detections) {
-      if (best == nullptr || d.statistic > best->statistic) best = &d;
-    }
-    char detail[64] = "-";
-    if (best != nullptr) {
-      std::snprintf(detail, sizeof(detail),
-                    "pixel (%lld, %lld), stat %.1f, corr %.2f",
-                    static_cast<long long>(best->x),
-                    static_cast<long long>(best->y), best->statistic,
-                    best->correlation);
-    }
-    std::printf("%-6lld %-10s %-12zu %-36s\n",
-                static_cast<long long>(frame->frame), "surveil",
-                frame->cfar.detections.size(), detail);
+    session.push(delta);
+    session.wait_for_update(static_cast<std::uint64_t>(c) + 1, 120s);
+    const auto snap = session.latest();
+    if (snap == nullptr) continue;  // dropped (deadline) — image unchanged
+    const double mag = std::abs(snap->image.at(tx, ty));
+    double mean = 0.0;
+    for (const CFloat& v : snap->image.flat()) mean += std::abs(v);
+    mean /= static_cast<double>(snap->image.flat().size());
+    const bool visible = mag > 8.0 * mean;
+    std::printf("%6llu %8lld %8s %8.1fms %14.1f %s\n",
+                static_cast<unsigned long long>(snap->seq),
+                static_cast<long long>(snap->window_pulses),
+                snap->reanchored ? "yes" : "-",
+                snap->latency_seconds * 1e3, mag, visible ? "VISIBLE" : "-");
   }
-  std::printf("\nexpected: strong detections near (88, 40) in frames 2 and 3 "
-              "(target present vs target-free reference); frames 1 and 4 "
-              "match the reference and should stay near-quiet\n");
+  session.close();
+
+  const streaming::StreamStats stats = session.stats();
+  std::printf("\nsession: %llu updates (%llu re-anchors), %llu sweep ops, "
+              "%llu cache hits\n",
+              static_cast<unsigned long long>(stats.updates_completed),
+              static_cast<unsigned long long>(stats.reanchors),
+              static_cast<unsigned long long>(stats.backprojections),
+              static_cast<unsigned long long>(stats.cache_hits));
+
+  // Second analyst on the same scene: the shared sub-aperture cache
+  // already holds every chunk partial, so this session re-sweeps nothing
+  // except its re-anchors.
+  streaming::StreamSession replay = streaming::open_stream(srv, config);
+  for (int c = 0; c < chunks; ++c) {
+    sim::PhaseHistory delta(chunk_pulses, history.samples_per_pulse(),
+                            history.bin_spacing(), history.wavenumber());
+    for (Index p = 0; p < chunk_pulses; ++p) {
+      const Index q = static_cast<Index>(c) * chunk_pulses + p;
+      const auto src = history.pulse(q);
+      std::copy(src.begin(), src.end(), delta.pulse(p).begin());
+      delta.meta(p) = history.meta(q);
+    }
+    replay.push(delta);
+  }
+  replay.wait_idle(120s);
+  const streaming::StreamStats warm = replay.stats();
+  replay.close();
+  std::printf("replay session: %llu updates, %llu cache hits, %llu sweep ops "
+              "(vs %llu cold)\n",
+              static_cast<unsigned long long>(warm.updates_completed),
+              static_cast<unsigned long long>(warm.cache_hits),
+              static_cast<unsigned long long>(warm.backprojections),
+              static_cast<unsigned long long>(stats.backprojections));
+
+  std::printf("\nexpected: the target column jumps while chunks 5-9 are in "
+              "the window and fades once they slide out; the replay session "
+              "sweeps only its re-anchors\n");
   return 0;
 }

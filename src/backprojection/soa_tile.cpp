@@ -30,4 +30,12 @@ void SoaTile::accumulate_tile(const SoaTile& other) {
   for (std::size_t i = 0; i < n; ++i) im_[i] += other.im_[i];
 }
 
+void SoaTile::subtract_tile(const SoaTile& other) {
+  ensure(other.width_ == width_ && other.height_ == height_,
+         "SoaTile::subtract_tile: shape mismatch");
+  const std::size_t n = re_.size();
+  for (std::size_t i = 0; i < n; ++i) re_[i] -= other.re_[i];
+  for (std::size_t i = 0; i < n; ++i) im_[i] -= other.im_[i];
+}
+
 }  // namespace sarbp::bp

@@ -50,6 +50,13 @@ class SoaTile {
   /// executor's deterministic per-job tree reduction over pulse slices.
   void accumulate_tile(const SoaTile& other);
 
+  /// Elementwise `this -= other`: retiring an expired sub-aperture's
+  /// partial image from a sliding-window accumulation. Floating-point
+  /// add/subtract is not associative, so subtracting the exact tile that
+  /// was added does not restore the pre-add bits — the bounded drift the
+  /// streaming layer re-anchors away (DESIGN.md §13).
+  void subtract_tile(const SoaTile& other);
+
  private:
   Index width_ = 0;
   Index height_ = 0;

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -25,6 +26,11 @@
 #include "geometry/grid.h"
 #include "obs/metrics.h"
 #include "sim/phase_history.h"
+
+namespace sarbp::exec {
+class TaskGroup;
+using GroupPtr = std::shared_ptr<TaskGroup>;
+}  // namespace sarbp::exec
 
 namespace sarbp::service {
 
@@ -67,6 +73,30 @@ enum class JobState {
   return s != JobState::kQueued && s != JobState::kRunning;
 }
 
+/// Hand-off the service gives a custom job's group factory at dequeue
+/// time. `checkpoint` is the service's cooperative cancel/deadline poll —
+/// the factory's tasks must call it with the same granularity as the plan
+/// replay (once per block sweep) and abort their group when it returns
+/// false. `finish` resolves the JobHandle exactly once; the factory's
+/// completion continuation must call it with the outcome it proposes
+/// (kDone on success, kFailed on abort — the service substitutes the
+/// checkpoint's kCancelled/kExpired verdict when one was recorded first)
+/// and receives back the state the job actually resolved to, so callers
+/// can classify outcomes without racing the handle.
+struct CustomJobContext {
+  std::function<bool()> checkpoint;
+  std::function<JobState(JobState, const std::string&)> finish;
+  /// Executor sizing, so factories can fan out like the plan replay does.
+  int workers = 1;
+  Index tile_tasks = 0;
+};
+
+/// Builds the task group of a custom (long-running-type) job when a worker
+/// claims it. Returning null means the factory resolved the job itself
+/// (it must still call ctx.finish); throwing fails the job.
+using CustomGroupFactory =
+    std::function<exec::GroupPtr(const CustomJobContext& ctx)>;
+
 /// One image-formation request. `pulses` is shared so many requests over
 /// the same collection (the repeated-scene case) alias one phase history.
 struct ImageFormationRequest {
@@ -85,6 +115,24 @@ struct ImageFormationRequest {
   std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Free-form submitter label (multi-tenant accounting in traces/logs).
   std::string tenant;
+  /// Non-null marks a *custom* job: instead of the cached-plan replay, the
+  /// service calls this factory at dequeue and runs whatever group it
+  /// returns — the seam long-running job types (streaming updates) ride
+  /// through. Custom jobs keep the whole lifecycle (fair queueing,
+  /// admission, cancel/deadline checkpoints) but publish their results
+  /// through their own channel, so JobResult::image stays empty on kDone.
+  /// `pulses` may be null for a custom job (cost defaults to 1 in the fair
+  /// scheduler); when set it is the SFQ cost basis, exactly as for
+  /// formation jobs. Rejected kInvalidRequest in sharded mode — ranks
+  /// cannot replay an opaque factory.
+  CustomGroupFactory custom;
+  /// Called (with no service or handle locks held) when a custom job
+  /// resolves terminally *without* the factory ever running — cancelled
+  /// while queued, deadline already passed at dequeue, or dropped at
+  /// drain. Exactly one of {factory invocation, this callback} happens
+  /// for every admitted custom job, so submitters can track in-flight
+  /// work without polling. Ignored for non-custom jobs.
+  std::function<void(JobState)> custom_abandoned;
 
   [[nodiscard]] Region effective_region() const {
     return region.empty() ? Region{0, 0, grid.width(), grid.height()} : region;

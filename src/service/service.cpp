@@ -86,10 +86,17 @@ SubmitOutcome ImageFormationService::submit(ImageFormationRequest request) {
     return reject(RejectReason::kShuttingDown);
   }
   const Region region = request.effective_region();
-  if (request.pulses == nullptr || request.pulses->num_pulses() <= 0 ||
-      region.empty() || request.asr_block_w <= 0 || request.asr_block_h <= 0 ||
-      region.x0 < 0 || region.y0 < 0 ||
-      region.x0 + region.width > request.grid.width() ||
+  // Custom jobs bring their own compute, so pulses are optional (they are
+  // only the fair scheduler's cost basis); formation jobs need them. The
+  // geometry checks apply to both. Custom jobs cannot ride the sharded
+  // path — an opaque factory has no rank-side replay.
+  const bool needs_pulses = !request.custom;
+  if ((needs_pulses && (request.pulses == nullptr ||
+                        request.pulses->num_pulses() <= 0)) ||
+      (request.pulses != nullptr && request.pulses->num_pulses() <= 0) ||
+      (request.custom && sharded()) || region.empty() ||
+      request.asr_block_w <= 0 || request.asr_block_h <= 0 || region.x0 < 0 ||
+      region.y0 < 0 || region.x0 + region.width > request.grid.width() ||
       region.y0 + region.height > request.grid.height()) {
     return reject(RejectReason::kInvalidRequest);
   }
@@ -187,21 +194,106 @@ exec::GroupPtr ImageFormationService::build_job_group(const JobPtr& job) {
       std::chrono::duration<double>(now - job->submitted_).count();
   if (queue_s_) queue_s_->record(queued_for);
 
-  // Cancelled while queued: the handle is already terminal, just drop it.
-  if (is_terminal(job->state())) return nullptr;
-
-  const auto& request = job->request_;
-  if (request.deadline.has_value() && now > *request.deadline) {
-    MutexLock lock(job->mutex_);
-    if (!is_terminal(job->state())) {
-      job->result_.error = "deadline passed while queued";
-      job->result_.queue_seconds = queued_for;
-      job->finish_locked(JobState::kExpired);
+  // Cancelled while queued (or dropped already-terminal at drain): the
+  // handle is resolved, just drop it — after telling a custom submitter
+  // its factory will never run.
+  if (is_terminal(job->state())) {
+    if (job->request_.custom_abandoned) {
+      job->request_.custom_abandoned(job->state());
     }
     return nullptr;
   }
-  if (!job->start_running()) return nullptr;
+
+  const auto& request = job->request_;
+  if (request.deadline.has_value() && now > *request.deadline) {
+    {
+      MutexLock lock(job->mutex_);
+      if (!is_terminal(job->state())) {
+        job->result_.error = "deadline passed while queued";
+        job->result_.queue_seconds = queued_for;
+        job->finish_locked(JobState::kExpired);
+      }
+    }
+    if (request.custom_abandoned) request.custom_abandoned(job->state());
+    return nullptr;
+  }
+  if (!job->start_running()) {
+    // A cancel resolved the handle between the checks above and here.
+    if (request.custom_abandoned) request.custom_abandoned(job->state());
+    return nullptr;
+  }
   if (busy_gauge_) busy_gauge_->add(1);
+
+  // Cooperative checkpoint, polled before every ASR block sweep — now
+  // possibly from several workers at once, so the outcome write is
+  // serialized through the RunCtx (first trip wins).
+  const auto make_checkpoint = [this, job](std::shared_ptr<RunCtx> ctx) {
+    return [this, ctx, job]() -> bool {
+      if (config_.inter_block_hook) config_.inter_block_hook();
+      if (job->cancel_requested()) {
+        ctx->set_failure(JobState::kCancelled, "cancelled while running");
+        return false;
+      }
+      const auto& deadline = job->request_.deadline;
+      if (deadline.has_value() &&
+          std::chrono::steady_clock::now() > *deadline) {
+        ctx->set_failure(JobState::kExpired, "deadline passed while running");
+        return false;
+      }
+      return true;
+    };
+  };
+
+  if (request.custom) {
+    // Custom job: the factory builds the group, the service supplies the
+    // lifecycle — the same checkpoint the plan replay polls, and a finish
+    // that resolves the handle with the checkpoint verdict taking
+    // precedence over the factory's proposed outcome.
+    auto ctx = std::make_shared<RunCtx>();
+    ctx->compute_start = std::chrono::steady_clock::now();
+    CustomJobContext cctx;
+    cctx.checkpoint = make_checkpoint(ctx);
+    cctx.workers = config_.workers;
+    cctx.tile_tasks = config_.tile_tasks;
+    cctx.finish = [this, ctx, job, queued_for](
+                      JobState proposed,
+                      const std::string& message) -> JobState {
+      const double compute_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        ctx->compute_start)
+              .count();
+      if (compute_s_) compute_s_->record(compute_seconds);
+      JobState outcome;
+      std::string error;
+      {
+        MutexLock lock(ctx->mutex);
+        outcome = ctx->outcome;
+        error = ctx->error;
+      }
+      if (outcome == JobState::kDone) {
+        outcome = proposed;
+        error = message;
+      }
+      if (busy_gauge_) busy_gauge_->add(-1);
+      MutexLock lock(job->mutex_);
+      // Lost a race to cancel(): report the state the job actually
+      // resolved to, not the proposal.
+      if (is_terminal(job->state())) return job->state();
+      job->result_.queue_seconds = queued_for;
+      job->result_.compute_seconds = compute_seconds;
+      job->result_.error = std::move(error);
+      job->finish_locked(outcome);
+      return outcome;
+    };
+    exec::GroupPtr group;
+    try {
+      group = job->request_.custom(cctx);
+    } catch (const std::exception& e) {
+      cctx.finish(JobState::kFailed, e.what());
+      return nullptr;
+    }
+    return group;
+  }
 
   const Region region = request.effective_region();
   bool cache_hit = false;
@@ -228,24 +320,7 @@ exec::GroupPtr ImageFormationService::build_job_group(const JobPtr& job) {
 
   auto ctx = std::make_shared<RunCtx>();
   ctx->compute_start = std::chrono::steady_clock::now();
-
-  // Cooperative checkpoint, polled before every ASR block sweep — now
-  // possibly from several workers at once, so the outcome write is
-  // serialized through the RunCtx (first trip wins).
-  auto checkpoint = [this, ctx, job]() -> bool {
-    if (config_.inter_block_hook) config_.inter_block_hook();
-    if (job->cancel_requested()) {
-      ctx->set_failure(JobState::kCancelled, "cancelled while running");
-      return false;
-    }
-    const auto& deadline = job->request_.deadline;
-    if (deadline.has_value() &&
-        std::chrono::steady_clock::now() > *deadline) {
-      ctx->set_failure(JobState::kExpired, "deadline passed while running");
-      return false;
-    }
-    return true;
-  };
+  auto checkpoint = make_checkpoint(ctx);
 
   auto tile = std::make_shared<bp::SoaTile>(region.width, region.height);
   // Runs on whichever worker retires the job's last task: publish the

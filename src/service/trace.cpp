@@ -120,6 +120,14 @@ TraceEntry parse_entry(JsonCursor& cur) {
         entry.deadline_ms = cur.number();
       } else if (key == "tenant") {
         entry.tenant = cur.string();
+      } else if (key == "stream") {
+        entry.stream = static_cast<std::uint64_t>(cur.number());
+      } else if (key == "chunk") {
+        entry.chunk = static_cast<Index>(cur.number());
+      } else if (key == "window") {
+        entry.window = static_cast<Index>(cur.number());
+      } else if (key == "reanchor") {
+        entry.reanchor = static_cast<int>(cur.number());
       } else {
         ensure(false, "trace JSON: unknown request key \"" + key + "\"");
       }
@@ -129,6 +137,11 @@ TraceEntry parse_entry(JsonCursor& cur) {
   ensure(entry.image > 0 && entry.pulses > 0 && entry.block > 0 &&
              entry.repeat > 0,
          "trace JSON: request fields must be positive");
+  ensure(entry.chunk >= 0 && entry.window >= 0 && entry.reanchor >= 0,
+         "trace JSON: streaming fields must be non-negative");
+  ensure(entry.stream != 0 ||
+             (entry.chunk == 0 && entry.window == 0 && entry.reanchor == 0),
+         "trace JSON: chunk/window/reanchor require a nonzero stream");
   return entry;
 }
 
@@ -220,6 +233,18 @@ std::string to_json(const Trace& trace) {
     if (!e.tenant.empty()) {
       out += ", \"tenant\": \"" + e.tenant + "\"";
     }
+    if (e.stream != 0) {
+      // Emitted only for streaming entries, so pre-extension traces
+      // round-trip byte-identically.
+      char stream_buf[160];
+      std::snprintf(stream_buf, sizeof(stream_buf),
+                    ", \"stream\": %llu, \"chunk\": %lld, \"window\": %lld, "
+                    "\"reanchor\": %d",
+                    static_cast<unsigned long long>(e.stream),
+                    static_cast<long long>(e.chunk),
+                    static_cast<long long>(e.window), e.reanchor);
+      out += stream_buf;
+    }
     out += "}";
   }
   out += "\n  ]\n}\n";
@@ -250,12 +275,42 @@ Trace make_repeated_scene_trace(int scenes, int repeats, Index image,
   return trace;
 }
 
-ReplayStats replay_trace(const Trace& trace, ImageFormationService& service) {
+Trace make_streaming_trace(int streams, int pushes, Index image, Index pulses,
+                           Index block, Index chunk, Index window,
+                           int reanchor) {
+  ensure(streams > 0 && pushes > 0,
+         "make_streaming_trace: counts must be positive");
+  ensure(chunk > 0 && window > 0 && reanchor >= 0,
+         "make_streaming_trace: bad session geometry");
+  Trace trace;
+  // Round-robin over sessions, the way concurrent collectors interleave.
+  for (int p = 0; p < pushes; ++p) {
+    for (int s = 0; s < streams; ++s) {
+      TraceEntry entry;
+      entry.image = image;
+      entry.pulses = pulses;
+      entry.block = block;
+      entry.scene = static_cast<std::uint64_t>(s + 1);
+      entry.tenant = "stream-" + std::to_string(s + 1);
+      entry.stream = static_cast<std::uint64_t>(s + 1);
+      entry.chunk = chunk;
+      entry.window = window;
+      entry.reanchor = reanchor;
+      trace.requests.push_back(entry);
+    }
+  }
+  return trace;
+}
+
+ReplayStats replay_trace(const Trace& trace, ImageFormationService& service,
+                         StreamReplayer* streams) {
   // One synthesis per distinct collection; requests alias it shared.
   std::map<std::tuple<std::uint64_t, Index, Index>,
            std::shared_ptr<const sim::PhaseHistory>>
       collections;
   for (const auto& entry : trace.requests) {
+    ensure(entry.stream == 0 || streams != nullptr,
+           "replay_trace: trace has streaming entries but no StreamReplayer");
     const auto key = std::make_tuple(entry.scene, entry.image, entry.pulses);
     if (collections.find(key) == collections.end()) {
       collections[key] = std::make_shared<const sim::PhaseHistory>(
@@ -273,6 +328,11 @@ ReplayStats replay_trace(const Trace& trace, ImageFormationService& service) {
         // lint: allow(sleep-poll) -- pacing; nothing could notify this wait
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(entry.delay_ms));
+      }
+      if (entry.stream != 0) {
+        streams->ingest(entry, collections[std::make_tuple(
+                                 entry.scene, entry.image, entry.pulses)]);
+        continue;
       }
       ImageFormationRequest request;
       request.grid = geometry::ImageGrid(entry.image, entry.image, 0.5);
@@ -322,6 +382,17 @@ ReplayStats replay_trace(const Trace& trace, ImageFormationService& service) {
       case JobState::kExpired: ++stats.expired; break;
       default: break;
     }
+  }
+  if (streams != nullptr) {
+    // Drains every session (updates still in flight complete), so the wall
+    // clock covers streaming work just as it covers the handle waits.
+    const StreamReplayer::Totals totals = streams->finish();
+    stats.streams = totals.streams;
+    stats.stream_pushes = totals.pushes;
+    stats.stream_updates = totals.updates;
+    stats.stream_reanchors = totals.reanchors;
+    stats.stream_cache_hits = totals.cache_hits;
+    stats.stream_dropped = totals.dropped;
   }
   stats.wall_seconds = wall.seconds();
   if (stats.wall_seconds > 0.0) {

@@ -1,0 +1,685 @@
+#include "streaming/streaming.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <numbers>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "asr/quadratic.h"
+#include "asr/tables.h"
+#include "backprojection/kernel.h"
+#include "backprojection/kernel_asr_block.h"
+#include "backprojection/partition.h"
+#include "backprojection/soa_tile.h"
+#include "common/check.h"
+#include "exec/task_group.h"
+#include "geometry/wavefront.h"
+
+namespace sarbp::streaming {
+namespace {
+
+/// Which inner sweep the session runs; resolved once at open so every
+/// update of a session uses one kernel.
+struct KernelSel {
+  bool simd = false;
+  bp::SimdIsa isa = bp::SimdIsa::kScalar;
+};
+
+/// Per-task scratch: the on-the-fly BlockTables plus the SIMD y_inner
+/// workspace, reused across every (block, pulse) pair the task sweeps.
+struct SweepScratch {
+  asr::BlockTables tables;
+  AlignedVector<float> ws_re;
+  AlignedVector<float> ws_im;
+};
+
+/// Sweeps every pulse of `chunks` (in order) over one block into `tile`,
+/// building each (block, pulse) table on the fly with exactly the inputs
+/// build_formation_plan would use — so a whole-window sweep here is
+/// bit-identical to a cached-plan replay (and to reform_window) over the
+/// concatenated history. Returns the (pixel, pulse) operation count.
+std::uint64_t sweep_block(const geometry::ImageGrid& grid,
+                          const Region& region, const asr::BlockSpec& block,
+                          std::span<const sim::PhaseHistory* const> chunks,
+                          const KernelSel& sel, SweepScratch& scratch,
+                          bp::SoaTile& tile) {
+  const geometry::Vec3 centre = grid.position_f(
+      static_cast<double>(block.x0) +
+          0.5 * static_cast<double>(block.width - 1),
+      static_cast<double>(block.y0) +
+          0.5 * static_cast<double>(block.height - 1));
+  const Index bx = block.x0 - region.x0;
+  const Index by = block.y0 - region.y0;
+  std::uint64_t ops = 0;
+  for (const sim::PhaseHistory* chunk : chunks) {
+    const double two_pi_k = 2.0 * std::numbers::pi * chunk->wavenumber();
+    const Index samples = chunk->samples_per_pulse();
+    for (Index p = 0; p < chunk->num_pulses(); ++p) {
+      const auto& meta = chunk->meta(p);
+      const geometry::LoopOrder order =
+          geometry::choose_loop_order(meta.position, grid.centre());
+      const bool x_inner = order == geometry::LoopOrder::kXInner;
+      const Index len_l = x_inner ? block.width : block.height;
+      const Index len_m = x_inner ? block.height : block.width;
+      const asr::Quadratic2D q = bp::block_range_quadratic(
+          centre, meta.position, grid.spacing(), order);
+      asr::build_block_tables_fast(q, meta.start_range_m,
+                                   chunk->bin_spacing(), two_pi_k, len_l,
+                                   len_m, scratch.tables);
+      if (sel.simd) {
+        bp::asr_plan_sweep_simd(scratch.tables, chunk->pulse(p).data(),
+                                samples, x_inner, bx, by, len_l, len_m, tile,
+                                sel.isa, bp::KernelVariant::kAuto,
+                                scratch.ws_re, scratch.ws_im);
+      } else {
+        bp::asr_sweep_block(scratch.tables, chunk->pulse(p).data(), samples,
+                            x_inner, bx, by, len_l, len_m, tile);
+      }
+    }
+    ops += static_cast<std::uint64_t>(block.width) *
+           static_cast<std::uint64_t>(block.height) *
+           static_cast<std::uint64_t>(chunk->num_pulses());
+  }
+  return ops;
+}
+
+Region effective_region(const StreamConfig& config) {
+  return config.region.empty()
+             ? Region{0, 0, config.grid.width(), config.grid.height()}
+             : config.region;
+}
+
+}  // namespace
+
+class StreamSession::Impl : public std::enable_shared_from_this<Impl> {
+ public:
+  Impl(service::ImageFormationService& service, StreamConfig config)
+      : service_(service),
+        config_(std::move(config)),
+        region_(effective_region(config_)),
+        blocks_(asr::plan_blocks(region_.x0, region_.y0, region_.width,
+                                 region_.height, config_.asr_block_w,
+                                 config_.asr_block_h)),
+        live_(region_.width, region_.height) {
+    sel_.simd = config_.use_simd && bp::asr_simd_available();
+    if (sel_.simd) sel_.isa = bp::asr_resolve_isa(bp::SimdIsa::kAuto);
+    if constexpr (obs::kEnabled) {
+      auto& reg = service_.metrics();
+      opened_ = &reg.counter("streaming.sessions.opened");
+      closed_counter_ = &reg.counter("streaming.sessions.closed");
+      completed_ = &reg.counter("streaming.updates.completed");
+      failed_ = &reg.counter("streaming.updates.failed");
+      cancelled_ = &reg.counter("streaming.updates.cancelled");
+      expired_counter_ = &reg.counter("streaming.updates.expired");
+      rejected_ = &reg.counter("streaming.updates.rejected");
+      reanchors_ = &reg.counter("streaming.reanchors");
+      ops_counter_ = &reg.counter("streaming.backprojections");
+      latency_s_ = &reg.histogram("streaming.update.latency_s");
+    }
+    if (opened_) opened_->add();
+  }
+
+  ~Impl() { close(); }
+
+  bool push(const sim::PhaseHistory& pulses) SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (closed_) return false;
+    if (pulses.num_pulses() <= 0 || pulses.samples_per_pulse() <= 0) {
+      return false;
+    }
+    if (!have_params_) {
+      samples_ = pulses.samples_per_pulse();
+      bin_spacing_ = pulses.bin_spacing();
+      wavenumber_ = pulses.wavenumber();
+      have_params_ = true;
+    } else if (pulses.samples_per_pulse() != samples_ ||
+               pulses.bin_spacing() != bin_spacing_ ||
+               pulses.wavenumber() != wavenumber_) {
+      return false;
+    }
+    for (Index p = 0; p < pulses.num_pulses(); ++p) {
+      fill_meta_.push_back(pulses.meta(p));
+      const auto src = pulses.pulse(p);
+      fill_samples_.insert(fill_samples_.end(), src.begin(), src.end());
+      if (static_cast<Index>(fill_meta_.size()) == config_.chunk_pulses) {
+        auto chunk = std::make_shared<sim::PhaseHistory>(
+            config_.chunk_pulses, samples_, bin_spacing_, wavenumber_);
+        for (Index i = 0; i < config_.chunk_pulses; ++i) {
+          const auto begin = fill_samples_.begin() + i * samples_;
+          std::copy(begin, begin + samples_, chunk->pulse(i).begin());
+          chunk->meta(i) = fill_meta_[static_cast<std::size_t>(i)];
+        }
+        fill_samples_.clear();
+        fill_meta_.clear();
+        pending_.push_back(
+            Chunk{std::move(chunk), std::chrono::steady_clock::now()});
+      }
+    }
+    pump_locked();
+    return true;
+  }
+
+  void close() SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+    fill_samples_.clear();
+    fill_meta_.clear();
+    if (closed_counter_) closed_counter_->add();
+  }
+
+  void cancel() SARBP_EXCLUDES(mutex_) {
+    std::shared_ptr<service::JobHandle> job;
+    {
+      MutexLock lock(mutex_);
+      const auto dropped = static_cast<std::uint64_t>(pending_.size());
+      pending_.clear();
+      stats_.updates_cancelled += dropped;
+      if (cancelled_ && dropped > 0) cancelled_->add(dropped);
+      if (inflight_update_ != nullptr) job = inflight_update_->job;
+      cv_.notify_all();
+    }
+    // Outside the session lock: cancel() takes the handle's mutex, and the
+    // lock order everywhere else is session -> handle.
+    if (job != nullptr) job->cancel();
+  }
+
+  bool wait_idle(std::chrono::milliseconds timeout) SARBP_EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mutex_);
+    while (inflight_update_ != nullptr || !pending_.empty()) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return inflight_update_ == nullptr && pending_.empty();
+      }
+    }
+    return true;
+  }
+
+  bool wait_for_update(std::uint64_t seq, std::chrono::milliseconds timeout)
+      SARBP_EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mutex_);
+    while (seq_ < seq) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return seq_ >= seq;
+      }
+    }
+    return true;
+  }
+
+  std::shared_ptr<const Snapshot> latest() const SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return latest_;
+  }
+
+  StreamStats stats() const SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return stats_;
+  }
+
+  sim::PhaseHistory window_history() const SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    Index total = 0;
+    for (const Applied& a : window_) total += a.history->num_pulses();
+    if (total == 0 || !have_params_) return {};
+    sim::PhaseHistory out(total, samples_, bin_spacing_, wavenumber_);
+    Index p = 0;
+    for (const Applied& a : window_) {
+      for (Index i = 0; i < a.history->num_pulses(); ++i, ++p) {
+        const auto src = a.history->pulse(i);
+        std::copy(src.begin(), src.end(), out.pulse(p).begin());
+        out.meta(p) = a.history->meta(i);
+      }
+    }
+    return out;
+  }
+
+ private:
+  /// One completed ingestion chunk, waiting to become an update.
+  struct Chunk {
+    std::shared_ptr<const sim::PhaseHistory> history;
+    std::chrono::steady_clock::time_point ready;
+  };
+
+  /// A window slot: the chunk plus the exact partial tile that was added
+  /// to the live image for it — retained independently of cache eviction
+  /// so the expiry subtraction is the exact inverse of the addition.
+  struct Applied {
+    std::shared_ptr<const sim::PhaseHistory> history;
+    SubApertureCache::Partial partial;
+  };
+
+  /// State of one in-flight update, shared between the sweep tasks and
+  /// the completion continuation.
+  struct Update {
+    Chunk chunk;
+    bool anchor = false;
+    bool cache_hit = false;
+    bool have_key = false;
+    service::PlanKey key;
+    /// Anchor mode: the window chunks that survive the slide, oldest
+    /// first (the new chunk is appended after them in the sweep).
+    std::vector<std::shared_ptr<const sim::PhaseHistory>> survivors;
+    SubApertureCache::Partial cached;     ///< cache-hit partial
+    std::shared_ptr<bp::SoaTile> partial; ///< freshly swept chunk partial
+    std::shared_ptr<bp::SoaTile> fresh;   ///< anchor: whole-window sweep
+    std::shared_ptr<service::JobHandle> job;
+    std::atomic<std::uint64_t> ops{0};
+  };
+
+  /// Submits pending chunks until one is in flight or the queue is empty.
+  /// Holds mutex_ across submit(): the only callbacks that need this
+  /// session's lock belong to the job being submitted, and they cannot be
+  /// dispatched before submit() admits it.
+  void pump_locked() SARBP_REQUIRES(mutex_) {
+    while (inflight_update_ == nullptr && !pending_.empty()) {
+      auto u = std::make_shared<Update>();
+      u->chunk = std::move(pending_.front());
+      pending_.pop_front();
+      inflight_update_ = u;
+
+      service::ImageFormationRequest req;
+      req.grid = config_.grid;
+      req.region = config_.region;
+      req.asr_block_w = config_.asr_block_w;
+      req.asr_block_h = config_.asr_block_h;
+      req.priority = config_.priority;
+      req.tenant = config_.tenant;
+      // The chunk is the update's SFQ cost basis (region pixels x delta
+      // pulses), exactly as a formation job over the chunk would be.
+      req.pulses = u->chunk.history;
+      if (config_.update_deadline.count() > 0) {
+        req.deadline =
+            std::chrono::steady_clock::now() + config_.update_deadline;
+      }
+      auto self = shared_from_this();
+      req.custom = [self, u](const service::CustomJobContext& cctx) {
+        return self->build_update_group(u, cctx);
+      };
+      req.custom_abandoned = [self, u](service::JobState state) {
+        self->abandon_update(u, state);
+      };
+      const service::SubmitOutcome outcome = service_.submit(std::move(req));
+      if (outcome.admitted()) {
+        u->job = outcome.handle;
+        return;
+      }
+      // Rejected: drop the chunk (stream backpressure) and try the next.
+      inflight_update_ = nullptr;
+      stats_.updates_rejected += 1;
+      if (rejected_) rejected_->add();
+      if (outcome.reject == service::RejectReason::kShuttingDown) {
+        closed_ = true;
+        stats_.updates_rejected += pending_.size();
+        if (rejected_ && !pending_.empty()) rejected_->add(pending_.size());
+        pending_.clear();
+        if (closed_counter_) closed_counter_->add();
+      }
+      cv_.notify_all();
+    }
+  }
+
+  void pump() SARBP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    pump_locked();
+  }
+
+  /// The custom-job factory: runs on the claiming worker at dequeue.
+  exec::GroupPtr build_update_group(const std::shared_ptr<Update>& u,
+                                    const service::CustomJobContext& cctx)
+      SARBP_EXCLUDES(mutex_) {
+    {
+      // Decide the mode and snapshot the window. Only a committing update
+      // mutates the window and exactly one update is in flight, so the
+      // snapshot stays valid for the group's whole run.
+      MutexLock lock(mutex_);
+      u->anchor = config_.reanchor_interval > 0 &&
+                  updates_since_anchor_ >= config_.reanchor_interval;
+      if (u->anchor) {
+        const std::size_t new_size = window_.size() + 1;
+        const std::size_t expire =
+            new_size > static_cast<std::size_t>(config_.window_chunks)
+                ? new_size - static_cast<std::size_t>(config_.window_chunks)
+                : 0;
+        u->survivors.reserve(window_.size() - expire);
+        for (std::size_t i = expire; i < window_.size(); ++i) {
+          u->survivors.push_back(window_[i].history);
+        }
+      }
+    }
+    if (config_.cache != nullptr) {
+      u->key = config_.cache->make_key(config_.grid, region_,
+                                       config_.asr_block_w,
+                                       config_.asr_block_h, *u->chunk.history);
+      u->have_key = true;
+      u->cached = config_.cache->find(u->key, *u->chunk.history);
+      u->cache_hit = u->cached != nullptr;
+    }
+    // Every update needs the chunk's partial for the eventual expiry
+    // subtraction; a cache hit supplies it, anything else sweeps it. An
+    // anchor additionally re-sweeps the whole window into a fresh tile.
+    if (!u->cache_hit) {
+      u->partial = std::make_shared<bp::SoaTile>(region_.width, region_.height);
+    }
+    if (u->anchor) {
+      u->fresh = std::make_shared<bp::SoaTile>(region_.width, region_.height);
+    }
+
+    auto self = shared_from_this();
+    std::vector<exec::TaskGroup::Task> tasks;
+    if (!u->anchor && u->cache_hit) {
+      // Nothing to sweep: one trivial task keeps the group machinery (and
+      // its checkpoint/abort/completion semantics) uniform.
+      tasks.emplace_back([](int, exec::TaskGroup&) {});
+    } else {
+      const Index nblocks = static_cast<Index>(blocks_.size());
+      // Mirror make_plan_replay_group's fan-out: ~2 tasks per worker,
+      // never finer than one block per task.
+      Index fanout =
+          cctx.tile_tasks > 0
+              ? cctx.tile_tasks
+              : std::max<Index>(2, 2 * static_cast<Index>(cctx.workers));
+      fanout = std::clamp<Index>(fanout, 1, nblocks);
+      for (Index ti = 0; ti < fanout; ++ti) {
+        const Index b0 = bp::split_begin(nblocks, fanout, ti);
+        const Index b1 = bp::split_begin(nblocks, fanout, ti + 1);
+        auto checkpoint = cctx.checkpoint;
+        tasks.emplace_back(
+            [self, u, checkpoint, b0, b1](int, exec::TaskGroup& group) {
+              self->sweep_task(*u, b0, b1, checkpoint, group);
+            });
+      }
+    }
+    auto on_complete = [self, u, cctx](exec::TaskGroup& group) {
+      self->complete_update(u, cctx, group);
+    };
+    return std::make_shared<exec::TaskGroup>(std::move(tasks), cctx.checkpoint,
+                                             std::move(on_complete),
+                                             "stream_update");
+  }
+
+  void sweep_task(Update& u, Index b0, Index b1,
+                  const std::function<bool()>& checkpoint,
+                  exec::TaskGroup& group) {
+    SweepScratch scratch;
+    std::uint64_t ops = 0;
+    std::vector<const sim::PhaseHistory*> window_chunks;
+    if (u.anchor) {
+      window_chunks.reserve(u.survivors.size() + 1);
+      for (const auto& h : u.survivors) window_chunks.push_back(h.get());
+      window_chunks.push_back(u.chunk.history.get());
+    }
+    const sim::PhaseHistory* new_chunk[] = {u.chunk.history.get()};
+    for (Index b = b0; b < b1; ++b) {
+      // execute_plan's granularity: one cancellation poll per block sweep.
+      if (checkpoint && !checkpoint()) {
+        group.abort();
+        break;
+      }
+      const asr::BlockSpec& block = blocks_[static_cast<std::size_t>(b)];
+      if (u.anchor) {
+        ops += sweep_block(config_.grid, region_, block, window_chunks, sel_,
+                           scratch, *u.fresh);
+      }
+      if (u.partial != nullptr) {
+        ops += sweep_block(config_.grid, region_, block, new_chunk, sel_,
+                           scratch, *u.partial);
+      }
+    }
+    // order: relaxed — statistics accumulator; the group's completion
+    // machinery orders it before on_complete reads it.
+    u.ops.fetch_add(ops, std::memory_order_relaxed);
+  }
+
+  /// Runs on the worker that retires the update's last task.
+  void complete_update(const std::shared_ptr<Update>& u,
+                       const service::CustomJobContext& cctx,
+                       exec::TaskGroup& group) SARBP_EXCLUDES(mutex_) {
+    const bool ok = !group.aborted();
+    if (ok && config_.cache != nullptr && u->have_key && !u->cache_hit &&
+        u->partial != nullptr) {
+      config_.cache->insert(u->key, *u->chunk.history, u->partial);
+    }
+    // Resolve the handle first, with no locks held (lock order: session ->
+    // handle). The service substitutes the checkpoint's verdict — the
+    // return value is what the job actually resolved to. Classification
+    // must land under the same critical section that clears
+    // inflight_update_, or a wait_idle() waiter can observe the session
+    // idle with the update not yet counted.
+    const service::JobState final_state = cctx.finish(
+        ok ? service::JobState::kDone : service::JobState::kFailed,
+        ok ? std::string()
+           : (group.error().empty() ? std::string("update aborted")
+                                    : group.error()));
+    {
+      MutexLock lock(mutex_);
+      // order: relaxed — every sweep task finished before the completion
+      // continuation runs (group barrier); this is the only reader.
+      const std::uint64_t ops = u->ops.load(std::memory_order_relaxed);
+      stats_.backprojections += ops;
+      if (ops_counter_ && ops > 0) ops_counter_->add(ops);
+      if (ok) {
+        // Commit: slide the window, update the live image, publish. This
+        // is the only place image state mutates, so an aborted update
+        // leaves the live image exactly consistent with the applied
+        // window.
+        const SubApertureCache::Partial partial =
+            u->cache_hit ? u->cached : SubApertureCache::Partial(u->partial);
+        window_.push_back(Applied{u->chunk.history, partial});
+        std::vector<Applied> expired;
+        while (window_.size() >
+               static_cast<std::size_t>(config_.window_chunks)) {
+          expired.push_back(std::move(window_.front()));
+          window_.pop_front();
+        }
+        if (u->anchor) {
+          live_ = std::move(*u->fresh);
+          updates_since_anchor_ = 0;
+          stats_.reanchors += 1;
+          if (reanchors_) reanchors_->add();
+        } else {
+          live_.accumulate_tile(*partial);
+          for (const Applied& e : expired) live_.subtract_tile(*e.partial);
+          ++updates_since_anchor_;
+        }
+        if (u->cache_hit) stats_.cache_hits += 1;
+        seq_ += 1;
+        auto snap = std::make_shared<Snapshot>();
+        snap->seq = seq_;
+        snap->reanchored = u->anchor;
+        Index window_pulses = 0;
+        for (const Applied& a : window_) {
+          window_pulses += a.history->num_pulses();
+        }
+        snap->window_pulses = window_pulses;
+        snap->image = Grid2D<CFloat>(region_.width, region_.height);
+        live_.accumulate_into(snap->image,
+                              Region{0, 0, region_.width, region_.height});
+        snap->latency_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          u->chunk.ready)
+                .count();
+        latest_ = std::move(snap);
+        stats_.updates_completed += 1;
+        if (completed_) completed_->add();
+        if (latency_s_) latency_s_->record(latest_->latency_seconds);
+      } else {
+        switch (final_state) {
+          case service::JobState::kCancelled:
+            stats_.updates_cancelled += 1;
+            if (cancelled_) cancelled_->add();
+            break;
+          case service::JobState::kExpired:
+            stats_.updates_expired += 1;
+            if (expired_counter_) expired_counter_->add();
+            break;
+          default:
+            stats_.updates_failed += 1;
+            if (failed_) failed_->add();
+            break;
+        }
+      }
+      inflight_update_ = nullptr;
+      cv_.notify_all();
+    }
+    pump();
+  }
+
+  /// The job resolved terminally without the factory running (cancelled
+  /// while queued, expired at dequeue, dropped at drain).
+  void abandon_update(const std::shared_ptr<Update>& u,
+                      service::JobState state) SARBP_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      if (inflight_update_ != u) return;
+      inflight_update_ = nullptr;
+      switch (state) {
+        case service::JobState::kCancelled:
+          stats_.updates_cancelled += 1;
+          if (cancelled_) cancelled_->add();
+          break;
+        case service::JobState::kExpired:
+          stats_.updates_expired += 1;
+          if (expired_counter_) expired_counter_->add();
+          break;
+        default:
+          stats_.updates_failed += 1;
+          if (failed_) failed_->add();
+          break;
+      }
+      cv_.notify_all();
+    }
+    pump();
+  }
+
+  service::ImageFormationService& service_;
+  const StreamConfig config_;
+  const Region region_;
+  const std::vector<asr::BlockSpec> blocks_;
+  KernelSel sel_;
+
+  mutable Mutex mutex_;
+  CondVar cv_;
+
+  // Sampling geometry, fixed by the first push.
+  bool have_params_ SARBP_GUARDED_BY(mutex_) = false;
+  Index samples_ SARBP_GUARDED_BY(mutex_) = 0;
+  double bin_spacing_ SARBP_GUARDED_BY(mutex_) = 1.0;
+  double wavenumber_ SARBP_GUARDED_BY(mutex_) = 0.0;
+
+  std::vector<CFloat> fill_samples_ SARBP_GUARDED_BY(mutex_);
+  std::vector<sim::PulseMeta> fill_meta_ SARBP_GUARDED_BY(mutex_);
+
+  std::deque<Chunk> pending_ SARBP_GUARDED_BY(mutex_);
+  std::shared_ptr<Update> inflight_update_ SARBP_GUARDED_BY(mutex_);
+  std::deque<Applied> window_ SARBP_GUARDED_BY(mutex_);
+  bp::SoaTile live_ SARBP_GUARDED_BY(mutex_);
+  int updates_since_anchor_ SARBP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t seq_ SARBP_GUARDED_BY(mutex_) = 0;
+  std::shared_ptr<const Snapshot> latest_ SARBP_GUARDED_BY(mutex_);
+  StreamStats stats_ SARBP_GUARDED_BY(mutex_);
+  bool closed_ SARBP_GUARDED_BY(mutex_) = false;
+
+  obs::Counter* opened_ = nullptr;
+  obs::Counter* closed_counter_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* failed_ = nullptr;
+  obs::Counter* cancelled_ = nullptr;
+  obs::Counter* expired_counter_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* reanchors_ = nullptr;
+  obs::Counter* ops_counter_ = nullptr;
+  obs::Histogram* latency_s_ = nullptr;
+};
+
+bool StreamSession::push(const sim::PhaseHistory& pulses) {
+  ensure(impl_ != nullptr, "StreamSession: not open");
+  return impl_->push(pulses);
+}
+
+void StreamSession::close() {
+  ensure(impl_ != nullptr, "StreamSession: not open");
+  impl_->close();
+}
+
+void StreamSession::cancel() {
+  ensure(impl_ != nullptr, "StreamSession: not open");
+  impl_->cancel();
+}
+
+bool StreamSession::wait_idle(std::chrono::milliseconds timeout) {
+  ensure(impl_ != nullptr, "StreamSession: not open");
+  return impl_->wait_idle(timeout);
+}
+
+bool StreamSession::wait_for_update(std::uint64_t seq,
+                                    std::chrono::milliseconds timeout) {
+  ensure(impl_ != nullptr, "StreamSession: not open");
+  return impl_->wait_for_update(seq, timeout);
+}
+
+std::shared_ptr<const Snapshot> StreamSession::latest() const {
+  ensure(impl_ != nullptr, "StreamSession: not open");
+  return impl_->latest();
+}
+
+StreamStats StreamSession::stats() const {
+  ensure(impl_ != nullptr, "StreamSession: not open");
+  return impl_->stats();
+}
+
+sim::PhaseHistory StreamSession::window_history() const {
+  ensure(impl_ != nullptr, "StreamSession: not open");
+  return impl_->window_history();
+}
+
+StreamSession open_stream(service::ImageFormationService& service,
+                          StreamConfig config) {
+  const Region region = effective_region(config);
+  ensure(config.grid.width() > 0 && config.grid.height() > 0,
+         "open_stream: empty grid");
+  ensure(!region.empty() && region.x0 >= 0 && region.y0 >= 0 &&
+             region.x0 + region.width <= config.grid.width() &&
+             region.y0 + region.height <= config.grid.height(),
+         "open_stream: region outside grid");
+  ensure(config.asr_block_w > 0 && config.asr_block_h > 0,
+         "open_stream: ASR block must be positive");
+  ensure(config.chunk_pulses > 0, "open_stream: chunk_pulses must be positive");
+  ensure(config.window_chunks > 0,
+         "open_stream: window_chunks must be positive");
+  ensure(config.reanchor_interval >= 0,
+         "open_stream: reanchor_interval must be >= 0");
+  ensure(!service.sharded(),
+         "open_stream: streaming requires a local-mode service");
+  return StreamSession(
+      std::make_shared<StreamSession::Impl>(service, std::move(config)));
+}
+
+Grid2D<CFloat> reform_window(const StreamConfig& config,
+                             const sim::PhaseHistory& window) {
+  const Region region = effective_region(config);
+  ensure(!region.empty() && config.asr_block_w > 0 && config.asr_block_h > 0,
+         "reform_window: bad geometry");
+  KernelSel sel;
+  sel.simd = config.use_simd && bp::asr_simd_available();
+  if (sel.simd) sel.isa = bp::asr_resolve_isa(bp::SimdIsa::kAuto);
+  bp::SoaTile tile(region.width, region.height);
+  if (window.num_pulses() > 0) {
+    const auto blocks =
+        asr::plan_blocks(region.x0, region.y0, region.width, region.height,
+                         config.asr_block_w, config.asr_block_h);
+    SweepScratch scratch;
+    const sim::PhaseHistory* chunks[] = {&window};
+    for (const asr::BlockSpec& block : blocks) {
+      sweep_block(config.grid, region, block, chunks, sel, scratch, tile);
+    }
+  }
+  Grid2D<CFloat> image(region.width, region.height);
+  tile.accumulate_into(image, Region{0, 0, region.width, region.height});
+  return image;
+}
+
+}  // namespace sarbp::streaming

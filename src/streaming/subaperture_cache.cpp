@@ -1,0 +1,145 @@
+#include "streaming/subaperture_cache.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sarbp::streaming {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+}
+
+inline std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+std::size_t tile_bytes(const bp::SoaTile& tile) {
+  return static_cast<std::size_t>(tile.width()) *
+         static_cast<std::size_t>(tile.height()) * 2 * sizeof(float);
+}
+
+}  // namespace
+
+SubApertureCache::SubApertureCache(SubApertureCacheConfig config)
+    : config_(std::move(config)) {
+  if constexpr (obs::kEnabled) {
+    auto& reg =
+        config_.metrics != nullptr ? *config_.metrics : obs::registry();
+    hits_ = &reg.counter("streaming.cache.hits");
+    misses_ = &reg.counter("streaming.cache.misses");
+    evictions_ = &reg.counter("streaming.cache.evictions");
+    collisions_ = &reg.counter("streaming.cache.collisions");
+    inserts_ = &reg.counter("streaming.cache.inserts");
+    entries_gauge_ = &reg.gauge("streaming.cache.entries");
+    bytes_gauge_ = &reg.gauge("streaming.cache.bytes");
+  }
+}
+
+std::uint64_t SubApertureCache::fingerprint(const sim::PhaseHistory& chunk) {
+  // Deliberately *not* the key's signature function: the fields are mixed
+  // in a different order from a different seed, so a forced or accidental
+  // signature collision still trips the mismatch check below.
+  std::uint64_t h = kFnvOffset ^ 0x5AB5AB5AB5AB5AB5ULL;
+  fnv_mix(h, static_cast<std::uint64_t>(chunk.samples_per_pulse()));
+  fnv_mix(h, static_cast<std::uint64_t>(chunk.num_pulses()));
+  const auto& first = chunk.meta(0);
+  const auto& last = chunk.meta(chunk.num_pulses() - 1);
+  fnv_mix(h, double_bits(first.position.x));
+  fnv_mix(h, double_bits(first.position.y));
+  fnv_mix(h, double_bits(first.position.z));
+  fnv_mix(h, double_bits(first.start_range_m));
+  fnv_mix(h, double_bits(last.position.x));
+  fnv_mix(h, double_bits(last.position.y));
+  fnv_mix(h, double_bits(last.position.z));
+  fnv_mix(h, double_bits(last.start_range_m));
+  return h;
+}
+
+service::PlanKey SubApertureCache::make_key(
+    const geometry::ImageGrid& grid, const Region& region, Index block_w,
+    Index block_h, const sim::PhaseHistory& chunk) const {
+  ensure(chunk.num_pulses() > 0, "SubApertureCache::make_key: empty chunk");
+  service::PlanKey key =
+      service::make_plan_key(grid, region, block_w, block_h, chunk);
+  if (config_.signature_fn) key.pulse_signature = config_.signature_fn(chunk);
+  return key;
+}
+
+SubApertureCache::Partial SubApertureCache::find(
+    const service::PlanKey& key, const sim::PhaseHistory& chunk) {
+  MutexLock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    if (misses_) misses_->add();
+    return nullptr;
+  }
+  if (it->second->fingerprint != fingerprint(chunk)) {
+    if (collisions_) collisions_->add();
+    if (misses_) misses_->add();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (hits_) hits_->add();
+  return it->second->partial;
+}
+
+void SubApertureCache::insert(const service::PlanKey& key,
+                              const sim::PhaseHistory& chunk,
+                              Partial partial) {
+  ensure(partial != nullptr, "SubApertureCache::insert: null partial");
+  if (config_.capacity == 0) return;
+  MutexLock lock(mutex_);
+  if (index_.find(key) != index_.end()) return;  // first insert wins
+  Entry entry;
+  entry.key = key;
+  entry.fingerprint = fingerprint(chunk);
+  entry.bytes = tile_bytes(*partial);
+  entry.partial = std::move(partial);
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  if (inserts_) inserts_->add();
+  while (lru_.size() > config_.capacity) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    if (evictions_) evictions_->add();
+  }
+  if (entries_gauge_) {
+    entries_gauge_->set(static_cast<std::int64_t>(lru_.size()));
+  }
+  if (bytes_gauge_) bytes_gauge_->set(static_cast<std::int64_t>(bytes_));
+}
+
+std::size_t SubApertureCache::size() const {
+  MutexLock lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t SubApertureCache::bytes() const {
+  MutexLock lock(mutex_);
+  return bytes_;
+}
+
+void SubApertureCache::clear() {
+  MutexLock lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  if (entries_gauge_) entries_gauge_->set(0);
+  if (bytes_gauge_) bytes_gauge_->set(0);
+}
+
+}  // namespace sarbp::streaming

@@ -1,0 +1,58 @@
+#include "streaming/trace_replay.h"
+
+#include <chrono>
+#include <utility>
+
+#include "geometry/grid.h"
+
+namespace sarbp::streaming {
+
+void TraceStreamReplayer::ingest(
+    const service::TraceEntry& entry,
+    std::shared_ptr<const sim::PhaseHistory> pulses) {
+  auto it = sessions_.find(entry.stream);
+  if (it == sessions_.end()) {
+    // First entry of the stream fixes the session configuration.
+    StreamConfig config;
+    config.grid = geometry::ImageGrid(entry.image, entry.image, 0.5);
+    config.asr_block_w = config.asr_block_h = entry.block;
+    if (entry.chunk > 0) config.chunk_pulses = entry.chunk;
+    if (entry.window > 0) config.window_chunks = entry.window;
+    config.reanchor_interval = entry.reanchor;
+    if (entry.deadline_ms > 0.0) {
+      config.update_deadline = std::chrono::milliseconds(
+          static_cast<long long>(entry.deadline_ms));
+    }
+    config.priority = entry.priority;
+    config.tenant = entry.tenant;
+    config.cache = cache_;
+    it = sessions_
+             .emplace(entry.stream, open_stream(service_, std::move(config)))
+             .first;
+  }
+  ++pushes_;
+  if (!it->second.push(*pulses)) ++failed_pushes_;
+}
+
+service::StreamReplayer::Totals TraceStreamReplayer::finish() {
+  Totals totals;
+  totals.streams = sessions_.size();
+  totals.pushes = pushes_;
+  totals.dropped = failed_pushes_;
+  for (auto& [id, session] : sessions_) {
+    session.close();
+    // Bounded drain: an update stuck past this is a bug the timeout
+    // surfaces as dropped work, not a hang.
+    session.wait_idle(std::chrono::milliseconds(60000));
+    const StreamStats stats = session.stats();
+    totals.updates += stats.updates_completed;
+    totals.reanchors += stats.reanchors;
+    totals.cache_hits += stats.cache_hits;
+    totals.dropped += stats.updates_failed + stats.updates_cancelled +
+                      stats.updates_expired + stats.updates_rejected;
+  }
+  sessions_.clear();
+  return totals;
+}
+
+}  // namespace sarbp::streaming

@@ -1,0 +1,41 @@
+// The streaming side of the trace replayer seam: service::replay_trace
+// routes entries with a nonzero `stream` id here, and this class turns
+// them into live StreamSessions against the service — one session per
+// distinct id, configured by the id's first entry (see the schema comment
+// in service/trace.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "service/trace.h"
+#include "streaming/streaming.h"
+#include "streaming/subaperture_cache.h"
+
+namespace sarbp::streaming {
+
+/// Drives streaming trace entries into sliding-aperture sessions. Not
+/// thread-safe (the replayer calls it from its single submission thread);
+/// finish() closes every session, drains in-flight updates, and reports
+/// the aggregate counters. `cache`, when non-null, is shared by every
+/// session the trace opens — the cross-session reuse case.
+class TraceStreamReplayer final : public service::StreamReplayer {
+ public:
+  explicit TraceStreamReplayer(service::ImageFormationService& service,
+                               SubApertureCache* cache = nullptr)
+      : service_(service), cache_(cache) {}
+
+  void ingest(const service::TraceEntry& entry,
+            std::shared_ptr<const sim::PhaseHistory> pulses) override;
+  Totals finish() override;
+
+ private:
+  service::ImageFormationService& service_;
+  SubApertureCache* cache_;
+  std::map<std::uint64_t, StreamSession> sessions_;
+  std::size_t pushes_ = 0;
+  std::size_t failed_pushes_ = 0;
+};
+
+}  // namespace sarbp::streaming

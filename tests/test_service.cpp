@@ -5,17 +5,20 @@
 // jobs in flight, and the request-trace JSON round trip.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "backprojection/kernel.h"
+#include "exec/task_group.h"
 #include "common/check.h"
 #include "common/snr.h"
 #include "geometry/wavefront.h"
@@ -620,6 +623,109 @@ TEST(Trace, ReplayRepeatedScenesHitsPlanCache) {
   EXPECT_EQ(stats.plan_hits, 2u);   // one per repeat
   EXPECT_GT(stats.throughput_jobs_per_s, 0.0);
   EXPECT_GE(stats.latency_p99_s, stats.latency_p50_s);
+}
+
+// --- custom jobs (the seam streaming updates ride through) ---------------
+
+TEST(CustomJob, RunsFullLifecycleWithoutPulses) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  ImageFormationService service(sc);
+
+  std::atomic<bool> ran{false};
+  ImageFormationRequest req;
+  req.grid = geometry::ImageGrid(16, 16, 0.5);
+  req.custom = [&ran](const CustomJobContext& ctx) -> exec::GroupPtr {
+    std::vector<exec::TaskGroup::Task> tasks;
+    tasks.emplace_back([&ran](int, exec::TaskGroup&) { ran = true; });
+    auto finish = ctx.finish;
+    return std::make_shared<exec::TaskGroup>(
+        std::move(tasks), ctx.checkpoint,
+        [finish](exec::TaskGroup& group) {
+          finish(group.aborted() ? JobState::kFailed : JobState::kDone, "");
+        },
+        "custom_test");
+  };
+
+  auto outcome = service.submit(std::move(req));
+  ASSERT_TRUE(outcome.admitted());
+  const JobResult& result = outcome.handle->wait();
+  EXPECT_EQ(result.state, JobState::kDone);
+  EXPECT_TRUE(ran.load());
+  EXPECT_EQ(result.image.width(), 0);  // custom jobs publish elsewhere
+}
+
+TEST(CustomJob, FinishReportsStateAfterLosingCancelRace) {
+  // A custom job cancelled while QUEUED never runs its factory; the
+  // abandonment callback is the only notification, and it must carry the
+  // resolved state.
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.start_paused = true;
+  ImageFormationService service(sc);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<JobState> abandoned;
+  std::atomic<bool> factory_ran{false};
+  ImageFormationRequest req;
+  req.grid = geometry::ImageGrid(16, 16, 0.5);
+  req.custom = [&factory_ran](const CustomJobContext& ctx) -> exec::GroupPtr {
+    factory_ran = true;
+    ctx.finish(JobState::kDone, "");
+    return nullptr;
+  };
+  req.custom_abandoned = [&](JobState state) {
+    std::lock_guard<std::mutex> lock(mutex);
+    abandoned = state;
+    cv.notify_all();
+  };
+
+  auto outcome = service.submit(std::move(req));
+  ASSERT_TRUE(outcome.admitted());
+  EXPECT_TRUE(outcome.handle->cancel());
+  service.resume();
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return abandoned.has_value(); }));
+    EXPECT_EQ(*abandoned, JobState::kCancelled);
+  }
+  EXPECT_FALSE(factory_ran.load());
+  EXPECT_EQ(outcome.handle->result().state, JobState::kCancelled);
+}
+
+TEST(CustomJob, RejectedInShardedMode) {
+  ServiceConfig sc;
+  sc.shards = 2;
+  sc.shard_workers = 1;
+  ImageFormationService service(sc);
+
+  ImageFormationRequest req;
+  req.grid = geometry::ImageGrid(16, 16, 0.5);
+  req.custom = [](const CustomJobContext&) -> exec::GroupPtr {
+    return nullptr;
+  };
+  const auto outcome = service.submit(std::move(req));
+  EXPECT_FALSE(outcome.admitted());
+  EXPECT_EQ(outcome.reject, RejectReason::kInvalidRequest);
+}
+
+TEST(CustomJob, ThrowingFactoryFailsTheJob) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  ImageFormationService service(sc);
+
+  ImageFormationRequest req;
+  req.grid = geometry::ImageGrid(16, 16, 0.5);
+  req.custom = [](const CustomJobContext&) -> exec::GroupPtr {
+    throw std::runtime_error("factory exploded");
+  };
+  auto outcome = service.submit(std::move(req));
+  ASSERT_TRUE(outcome.admitted());
+  const JobResult& result = outcome.handle->wait();
+  EXPECT_EQ(result.state, JobState::kFailed);
+  EXPECT_EQ(result.error, "factory exploded");
 }
 
 }  // namespace

@@ -1,0 +1,549 @@
+// Streaming sliding-aperture tests: incremental-vs-full parity (bit-exact
+// at re-anchors, > 70 dB drift bound between them, across scalar/SIMD and
+// steal on/off), the O(delta) vs O(full) operation-count acceptance bound,
+// re-anchor cadence, sub-aperture cache hit/eviction/collision behaviour,
+// cancel and deadline expiry mid-update, the queued-cancel abandonment
+// path, and the streaming trace round trip + replay.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/snr.h"
+#include "service/trace.h"
+#include "streaming/streaming.h"
+#include "streaming/subaperture_cache.h"
+#include "streaming/trace_replay.h"
+#include "test_helpers.h"
+
+namespace sarbp::streaming {
+namespace {
+
+using namespace std::chrono_literals;
+using sarbp::testing::ScenarioConfig;
+using sarbp::testing::SmallScenario;
+using sarbp::testing::make_scenario;
+
+constexpr auto kWait = 120s;
+
+/// Copies pulses [p0, p1) of `h` into a standalone history.
+sim::PhaseHistory slice(const sim::PhaseHistory& h, Index p0, Index p1) {
+  sim::PhaseHistory out(p1 - p0, h.samples_per_pulse(), h.bin_spacing(),
+                        h.wavenumber());
+  for (Index p = p0; p < p1; ++p) {
+    const auto src = h.pulse(p);
+    std::copy(src.begin(), src.end(), out.pulse(p - p0).begin());
+    out.meta(p - p0) = h.meta(p);
+  }
+  return out;
+}
+
+void expect_bit_identical(const Grid2D<CFloat>& a, const Grid2D<CFloat>& b) {
+  ASSERT_EQ(a.width(), b.width());
+  ASSERT_EQ(a.height(), b.height());
+  for (Index y = 0; y < a.height(); ++y) {
+    const auto ra = a.row(y);
+    const auto rb = b.row(y);
+    for (Index x = 0; x < a.width(); ++x) {
+      const auto ax = static_cast<std::size_t>(x);
+      ASSERT_EQ(ra[ax].real(), rb[ax].real()) << "at (" << x << "," << y << ")";
+      ASSERT_EQ(ra[ax].imag(), rb[ax].imag()) << "at (" << x << "," << y << ")";
+    }
+  }
+}
+
+// --- incremental vs from-scratch parity ----------------------------------
+
+/// After every update: a re-anchored snapshot must equal reform_window()
+/// bit for bit; an incremental one must track it within the drift bound.
+void run_parity(bool simd, bool steal) {
+  ScenarioConfig cfg;
+  cfg.image = 48;
+  cfg.pulses = 48;
+  cfg.seed = 11;
+  const SmallScenario s = make_scenario(cfg);
+
+  obs::Registry reg;
+  service::ServiceConfig sc;
+  sc.workers = 2;
+  sc.steal = steal;
+  sc.metrics = &reg;
+  service::ImageFormationService srv(sc);
+
+  StreamConfig config;
+  config.grid = s.grid;
+  config.asr_block_w = config.asr_block_h = 16;
+  config.chunk_pulses = 6;
+  config.window_chunks = 4;
+  config.reanchor_interval = 3;  // anchors land on updates 4 and 8
+  config.use_simd = simd;
+  StreamSession session = open_stream(srv, config);
+
+  const Index chunks = cfg.pulses / config.chunk_pulses;
+  bool saw_anchor = false;
+  bool saw_incremental = false;
+  for (Index c = 0; c < chunks; ++c) {
+    ASSERT_TRUE(session.push(slice(s.history, c * config.chunk_pulses,
+                                   (c + 1) * config.chunk_pulses)));
+    ASSERT_TRUE(session.wait_for_update(static_cast<std::uint64_t>(c) + 1,
+                                        kWait));
+    ASSERT_TRUE(session.wait_idle(kWait));
+    const auto snap = session.latest();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->seq, static_cast<std::uint64_t>(c) + 1);
+
+    const sim::PhaseHistory window = session.window_history();
+    EXPECT_EQ(window.num_pulses(), snap->window_pulses);
+    const Grid2D<CFloat> reference = reform_window(config, window);
+    if (snap->reanchored) {
+      saw_anchor = true;
+      expect_bit_identical(snap->image, reference);
+    } else {
+      saw_incremental = true;
+      EXPECT_GT(snr_db(snap->image, reference), 70.0)
+          << "drift bound violated at update " << snap->seq;
+    }
+  }
+  EXPECT_TRUE(saw_anchor);
+  EXPECT_TRUE(saw_incremental);
+  EXPECT_EQ(session.stats().updates_completed,
+            static_cast<std::uint64_t>(chunks));
+  session.close();
+}
+
+TEST(StreamingParity, ScalarNoSteal) { run_parity(false, false); }
+TEST(StreamingParity, ScalarSteal) { run_parity(false, true); }
+TEST(StreamingParity, SimdNoSteal) { run_parity(true, false); }
+TEST(StreamingParity, SimdSteal) { run_parity(true, true); }
+
+// --- O(delta) vs O(full): the acceptance bound ---------------------------
+
+TEST(StreamingOps, WindowedStreamBeatsFullReformsFiveFold) {
+  ScenarioConfig cfg;
+  cfg.image = 32;
+  cfg.pulses = 48;
+  cfg.seed = 5;
+  const SmallScenario s = make_scenario(cfg);
+
+  obs::Registry reg;
+  service::ServiceConfig sc;
+  sc.workers = 2;
+  sc.metrics = &reg;
+  service::ImageFormationService srv(sc);
+
+  StreamConfig config;
+  config.grid = s.grid;
+  config.asr_block_w = config.asr_block_h = 16;
+  config.chunk_pulses = 2;  // delta << window
+  config.window_chunks = 10;
+  config.reanchor_interval = 12;
+  StreamSession session = open_stream(srv, config);
+
+  ASSERT_TRUE(session.push(s.history));
+  const auto updates =
+      static_cast<std::uint64_t>(cfg.pulses / config.chunk_pulses);
+  ASSERT_TRUE(session.wait_for_update(updates, kWait));
+  ASSERT_TRUE(session.wait_idle(kWait));
+
+  const StreamStats stats = session.stats();
+  EXPECT_EQ(stats.updates_completed, updates);
+  EXPECT_EQ(stats.reanchors, 1u);  // update 13
+
+  // What N from-scratch reforms of the same sliding windows would cost, in
+  // the same (pixel, pulse) units the session counts.
+  const auto pixels = static_cast<std::uint64_t>(cfg.image) *
+                      static_cast<std::uint64_t>(cfg.image);
+  std::uint64_t full_reform_ops = 0;
+  for (std::uint64_t u = 1; u <= updates; ++u) {
+    const std::uint64_t window_pulses =
+        std::min<std::uint64_t>(u, static_cast<std::uint64_t>(
+                                       config.window_chunks)) *
+        static_cast<std::uint64_t>(config.chunk_pulses);
+    full_reform_ops += pixels * window_pulses;
+  }
+  ASSERT_GT(stats.backprojections, 0u);
+  EXPECT_GE(full_reform_ops, 5 * stats.backprojections)
+      << "streaming spent " << stats.backprojections
+      << " backprojections; N full reforms would spend " << full_reform_ops;
+  // The obs counter is the same observable.
+  EXPECT_EQ(reg.counter("streaming.backprojections").value(),
+            stats.backprojections);
+  EXPECT_EQ(reg.counter("streaming.reanchors").value(), stats.reanchors);
+  session.close();
+}
+
+// --- re-anchor cadence ---------------------------------------------------
+
+TEST(StreamingReanchor, CadenceFollowsConfiguredInterval) {
+  ScenarioConfig cfg;
+  cfg.image = 32;
+  cfg.pulses = 28;
+  const SmallScenario s = make_scenario(cfg);
+
+  service::ServiceConfig sc;
+  sc.workers = 1;
+  service::ImageFormationService srv(sc);
+
+  StreamConfig config;
+  config.grid = s.grid;
+  config.asr_block_w = config.asr_block_h = 16;
+  config.chunk_pulses = 4;
+  config.window_chunks = 3;
+  config.reanchor_interval = 2;  // updates 3 and 6 re-anchor
+  StreamSession session = open_stream(srv, config);
+
+  std::vector<bool> reanchored;
+  for (Index c = 0; c < 7; ++c) {
+    ASSERT_TRUE(session.push(slice(s.history, c * 4, (c + 1) * 4)));
+    ASSERT_TRUE(session.wait_for_update(static_cast<std::uint64_t>(c) + 1,
+                                        kWait));
+    reanchored.push_back(session.latest()->reanchored);
+  }
+  const std::vector<bool> expected = {false, false, true, false,
+                                      false, true,  false};
+  EXPECT_EQ(reanchored, expected);
+  EXPECT_EQ(session.stats().reanchors, 2u);
+}
+
+// --- sub-aperture cache --------------------------------------------------
+
+TEST(SubApertureCache, SharedAcrossSessionsSkipsResweep) {
+  ScenarioConfig cfg;
+  cfg.image = 32;
+  cfg.pulses = 24;
+  const SmallScenario s = make_scenario(cfg);
+
+  obs::Registry reg;
+  service::ServiceConfig sc;
+  sc.workers = 2;
+  sc.metrics = &reg;
+  service::ImageFormationService srv(sc);
+
+  SubApertureCacheConfig cache_config;
+  cache_config.capacity = 16;
+  cache_config.metrics = &reg;
+  SubApertureCache cache(cache_config);
+
+  StreamConfig config;
+  config.grid = s.grid;
+  config.asr_block_w = config.asr_block_h = 16;
+  config.chunk_pulses = 4;
+  config.window_chunks = 6;  // whole collection fits: no expiry
+  config.reanchor_interval = 0;
+  config.cache = &cache;
+
+  StreamSession a = open_stream(srv, config);
+  ASSERT_TRUE(a.push(s.history));
+  ASSERT_TRUE(a.wait_for_update(6, kWait));
+  ASSERT_TRUE(a.wait_idle(kWait));
+  const StreamStats stats_a = a.stats();
+  EXPECT_EQ(stats_a.cache_hits, 0u);
+  ASSERT_GT(stats_a.backprojections, 0u);
+  EXPECT_EQ(cache.size(), 6u);
+
+  // Same scene, same geometry: every chunk partial comes from the cache,
+  // and the image is the exact tile sum the first session committed.
+  StreamSession b = open_stream(srv, config);
+  ASSERT_TRUE(b.push(s.history));
+  ASSERT_TRUE(b.wait_for_update(6, kWait));
+  ASSERT_TRUE(b.wait_idle(kWait));
+  const StreamStats stats_b = b.stats();
+  EXPECT_EQ(stats_b.cache_hits, 6u);
+  EXPECT_EQ(stats_b.backprojections, 0u);
+  expect_bit_identical(b.latest()->image, a.latest()->image);
+
+  EXPECT_EQ(reg.counter("streaming.cache.hits").value(), 6u);
+  EXPECT_EQ(reg.counter("streaming.cache.inserts").value(), 6u);
+}
+
+TEST(SubApertureCache, EvictsLeastRecentlyUsed) {
+  ScenarioConfig cfg;
+  cfg.image = 24;
+  cfg.pulses = 8;
+  const SmallScenario s = make_scenario(cfg);
+  const sim::PhaseHistory c1 = slice(s.history, 0, 4);
+  const sim::PhaseHistory c2 = slice(s.history, 4, 8);
+  const Region region{0, 0, cfg.image, cfg.image};
+
+  obs::Registry reg;
+  SubApertureCacheConfig config;
+  config.capacity = 1;
+  config.metrics = &reg;
+  SubApertureCache cache(config);
+
+  const auto k1 = cache.make_key(s.grid, region, 16, 16, c1);
+  const auto k2 = cache.make_key(s.grid, region, 16, 16, c2);
+  cache.insert(k1, c1, std::make_shared<bp::SoaTile>(cfg.image, cfg.image));
+  EXPECT_NE(cache.find(k1, c1), nullptr);
+
+  cache.insert(k2, c2, std::make_shared<bp::SoaTile>(cfg.image, cfg.image));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(k1, c1), nullptr);  // evicted
+  EXPECT_NE(cache.find(k2, c2), nullptr);
+  EXPECT_EQ(reg.counter("streaming.cache.evictions").value(), 1u);
+}
+
+TEST(SubApertureCache, SignatureCollisionServedAsMiss) {
+  ScenarioConfig cfg;
+  cfg.image = 24;
+  cfg.pulses = 8;
+  const SmallScenario s = make_scenario(cfg);
+  const sim::PhaseHistory c1 = slice(s.history, 0, 4);
+  const sim::PhaseHistory c2 = slice(s.history, 4, 8);
+  const Region region{0, 0, cfg.image, cfg.image};
+
+  obs::Registry reg;
+  SubApertureCacheConfig config;
+  config.metrics = &reg;
+  // Force every chunk onto one key: c2's lookup collides with c1's entry.
+  config.signature_fn = [](const sim::PhaseHistory&) -> std::uint64_t {
+    return 42;
+  };
+  SubApertureCache cache(config);
+
+  const auto k1 = cache.make_key(s.grid, region, 16, 16, c1);
+  const auto k2 = cache.make_key(s.grid, region, 16, 16, c2);
+  EXPECT_EQ(k1.pulse_signature, k2.pulse_signature);
+
+  cache.insert(k1, c1, std::make_shared<bp::SoaTile>(cfg.image, cfg.image));
+  EXPECT_EQ(cache.find(k2, c2), nullptr);  // fingerprint mismatch
+  EXPECT_EQ(reg.counter("streaming.cache.collisions").value(), 1u);
+  EXPECT_NE(cache.find(k1, c1), nullptr);  // the real owner still hits
+}
+
+// --- cancellation and deadlines mid-update -------------------------------
+
+TEST(StreamingLifecycle, CancelMidUpdateMutatesNothing) {
+  ScenarioConfig cfg;
+  cfg.image = 32;
+  cfg.pulses = 16;
+  const SmallScenario s = make_scenario(cfg);
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool entered = false;
+  bool released = false;
+  service::ServiceConfig sc;
+  sc.workers = 2;
+  // Hold every worker at its first checkpoint until the test releases it,
+  // so cancel() provably lands while the update is mid-flight.
+  sc.inter_block_hook = [&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    entered = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return released; });
+  };
+  service::ImageFormationService srv(sc);
+
+  StreamConfig config;
+  config.grid = s.grid;
+  config.asr_block_w = config.asr_block_h = 16;
+  config.chunk_pulses = 8;
+  StreamSession session = open_stream(srv, config);
+
+  ASSERT_TRUE(session.push(slice(s.history, 0, 8)));
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    ASSERT_TRUE(gate_cv.wait_for(lock, kWait, [&] { return entered; }));
+  }
+  session.cancel();
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    released = true;
+    gate_cv.notify_all();
+  }
+  ASSERT_TRUE(session.wait_idle(kWait));
+
+  StreamStats stats = session.stats();
+  EXPECT_EQ(stats.updates_cancelled, 1u);
+  EXPECT_EQ(stats.updates_completed, 0u);
+  EXPECT_EQ(session.latest(), nullptr);
+  EXPECT_EQ(session.window_history().num_pulses(), 0);
+
+  // The session survives a cancelled update: the next chunk goes through.
+  ASSERT_TRUE(session.push(slice(s.history, 8, 16)));
+  ASSERT_TRUE(session.wait_for_update(1, kWait));
+  EXPECT_EQ(session.stats().updates_completed, 1u);
+}
+
+TEST(StreamingLifecycle, DeadlineExpiryDropsUpdate) {
+  ScenarioConfig cfg;
+  cfg.image = 32;
+  cfg.pulses = 8;
+  const SmallScenario s = make_scenario(cfg);
+
+  std::atomic<bool> slept{false};
+  service::ServiceConfig sc;
+  sc.workers = 1;
+  sc.inter_block_hook = [&] {
+    if (!slept.exchange(true)) {
+      // Push the first checkpoint past the update deadline.
+      // lint: allow(sleep-poll) -- forcing a deterministic deadline miss
+      std::this_thread::sleep_for(150ms);
+    }
+  };
+  service::ImageFormationService srv(sc);
+
+  StreamConfig config;
+  config.grid = s.grid;
+  config.asr_block_w = config.asr_block_h = 16;
+  config.chunk_pulses = 8;
+  config.update_deadline = 50ms;
+  StreamSession session = open_stream(srv, config);
+
+  ASSERT_TRUE(session.push(s.history));
+  ASSERT_TRUE(session.wait_idle(kWait));
+  const StreamStats stats = session.stats();
+  EXPECT_EQ(stats.updates_expired, 1u)
+      << "completed=" << stats.updates_completed
+      << " failed=" << stats.updates_failed
+      << " cancelled=" << stats.updates_cancelled
+      << " rejected=" << stats.updates_rejected;
+  EXPECT_EQ(stats.updates_completed, 0u);
+  EXPECT_EQ(session.latest(), nullptr);
+}
+
+TEST(StreamingLifecycle, CancelWhileQueuedAbandonsCleanly) {
+  ScenarioConfig cfg;
+  cfg.image = 32;
+  cfg.pulses = 8;
+  const SmallScenario s = make_scenario(cfg);
+
+  service::ServiceConfig sc;
+  sc.workers = 1;
+  sc.start_paused = true;  // the update stays QUEUED until resume()
+  service::ImageFormationService srv(sc);
+
+  StreamConfig config;
+  config.grid = s.grid;
+  config.asr_block_w = config.asr_block_h = 16;
+  config.chunk_pulses = 8;
+  StreamSession session = open_stream(srv, config);
+
+  ASSERT_TRUE(session.push(s.history));
+  session.cancel();  // resolves the queued handle immediately
+  srv.resume();
+  // The dequeue-side abandonment must clear the in-flight slot even though
+  // the update's factory never ran.
+  ASSERT_TRUE(session.wait_idle(kWait));
+  const StreamStats stats = session.stats();
+  EXPECT_EQ(stats.updates_cancelled, 1u);
+  EXPECT_EQ(stats.updates_completed, 0u);
+}
+
+TEST(StreamingLifecycle, CloseStopsIngestionButDrains) {
+  ScenarioConfig cfg;
+  cfg.image = 32;
+  cfg.pulses = 16;
+  const SmallScenario s = make_scenario(cfg);
+
+  service::ServiceConfig sc;
+  sc.workers = 1;
+  service::ImageFormationService srv(sc);
+
+  StreamConfig config;
+  config.grid = s.grid;
+  config.asr_block_w = config.asr_block_h = 16;
+  config.chunk_pulses = 8;
+  StreamSession session = open_stream(srv, config);
+
+  ASSERT_TRUE(session.push(slice(s.history, 0, 8)));
+  session.close();
+  EXPECT_FALSE(session.push(slice(s.history, 8, 16)));
+  ASSERT_TRUE(session.wait_idle(kWait));
+  EXPECT_EQ(session.stats().updates_completed, 1u);
+}
+
+TEST(StreamingLifecycle, InconsistentSamplingRejected) {
+  ScenarioConfig cfg;
+  cfg.image = 32;
+  cfg.pulses = 8;
+  const SmallScenario s = make_scenario(cfg);
+
+  service::ServiceConfig sc;
+  sc.workers = 1;
+  service::ImageFormationService srv(sc);
+
+  StreamConfig config;
+  config.grid = s.grid;
+  config.asr_block_w = config.asr_block_h = 16;
+  config.chunk_pulses = 8;
+  StreamSession session = open_stream(srv, config);
+
+  ASSERT_TRUE(session.push(s.history));
+  const sim::PhaseHistory wrong(4, s.history.samples_per_pulse() + 1,
+                                s.history.bin_spacing(),
+                                s.history.wavenumber());
+  EXPECT_FALSE(session.push(wrong));
+  EXPECT_FALSE(session.push(sim::PhaseHistory{}));
+}
+
+// --- streaming trace extension -------------------------------------------
+
+TEST(StreamingTrace, RoundTripsThroughJson) {
+  service::Trace trace =
+      service::make_streaming_trace(2, 3, 32, 8, 16, /*chunk=*/8, /*window=*/2,
+                           /*reanchor=*/2);
+  service::TraceEntry plain;
+  plain.image = 32;
+  plain.pulses = 8;
+  plain.block = 16;
+  plain.tenant = "batch";
+  trace.requests.push_back(plain);
+
+  const service::Trace back = service::parse_trace_json(to_json(trace));
+  ASSERT_EQ(back.requests.size(), trace.requests.size());
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const auto& a = trace.requests[i];
+    const auto& b = back.requests[i];
+    EXPECT_EQ(a.image, b.image);
+    EXPECT_EQ(a.pulses, b.pulses);
+    EXPECT_EQ(a.block, b.block);
+    EXPECT_EQ(a.scene, b.scene);
+    EXPECT_EQ(a.tenant, b.tenant);
+    EXPECT_EQ(a.stream, b.stream);
+    EXPECT_EQ(a.chunk, b.chunk);
+    EXPECT_EQ(a.window, b.window);
+    EXPECT_EQ(a.reanchor, b.reanchor);
+  }
+}
+
+TEST(StreamingTrace, ReplayDrivesSessions) {
+  const service::Trace trace =
+      service::make_streaming_trace(2, 3, 32, 8, 16, /*chunk=*/8, /*window=*/2,
+                           /*reanchor=*/2);
+
+  service::ServiceConfig sc;
+  sc.workers = 2;
+  service::ImageFormationService srv(sc);
+  SubApertureCache cache;
+  TraceStreamReplayer replayer(srv, &cache);
+  const service::ReplayStats stats =
+      service::replay_trace(trace, srv, &replayer);
+
+  EXPECT_EQ(stats.streams, 2u);
+  EXPECT_EQ(stats.stream_pushes, 6u);
+  EXPECT_EQ(stats.stream_updates, 6u);
+  EXPECT_EQ(stats.stream_reanchors, 2u);  // update 3 of each stream
+  EXPECT_EQ(stats.stream_dropped, 0u);
+  EXPECT_EQ(stats.submitted, 0u);
+}
+
+TEST(StreamingTrace, ReplayWithoutHandlerThrows) {
+  const service::Trace trace =
+      service::make_streaming_trace(1, 1, 32, 8, 16, 8, 2, 0);
+  service::ServiceConfig sc;
+  sc.workers = 1;
+  service::ImageFormationService srv(sc);
+  EXPECT_THROW(service::replay_trace(trace, srv), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sarbp::streaming

@@ -33,9 +33,9 @@ run_tsan() {
     -DSARBP_SANITIZE="thread" >/dev/null
   cmake --build build-tsan -j "$jobs" --target \
     test_common test_obs test_exec test_backends test_pipeline test_service \
-    test_cluster test_cluster_service
+    test_streaming test_cluster test_cluster_service
   for t in test_common test_obs test_exec test_backends test_pipeline \
-           test_service test_cluster test_cluster_service; do
+           test_service test_streaming test_cluster test_cluster_service; do
     echo "--- tsan: $t ---"
     OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
   done

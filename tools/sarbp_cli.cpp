@@ -35,6 +35,8 @@
 #include "service/trace.h"
 #include "sim/collector.h"
 #include "sim/scene.h"
+#include "streaming/subaperture_cache.h"
+#include "streaming/trace_replay.h"
 
 namespace {
 
@@ -291,6 +293,13 @@ int cmd_serve_trace(const Cli& cli) {
     std::ostringstream buffer;
     buffer << in.rdbuf();
     trace = service::parse_trace_json(buffer.str());
+  } else if (cli.has("streaming")) {
+    trace = service::make_streaming_trace(
+        static_cast<int>(cli.get_long("streams", 2)),
+        static_cast<int>(cli.get_long("pushes", 12)), cli.get_long("ix", 96),
+        cli.get_long("pulses", 16), cli.get_long("block", 32),
+        cli.get_long("chunk", 16), cli.get_long("window", 4),
+        static_cast<int>(cli.get_long("reanchor", 8)));
   } else {
     trace = service::make_repeated_scene_trace(
         static_cast<int>(cli.get_long("scenes", 3)),
@@ -319,8 +328,24 @@ int cmd_serve_trace(const Cli& cli) {
     }
   }
 
+  bool has_streams = false;
+  for (const auto& entry : trace.requests) {
+    if (entry.stream != 0) has_streams = true;
+  }
+  if (has_streams && config.shards >= 2) {
+    std::fprintf(stderr,
+                 "serve-trace: streaming entries need a local-mode service "
+                 "(--shards 1)\n");
+    return 2;
+  }
+
   service::ImageFormationService srv(config);
-  const service::ReplayStats stats = service::replay_trace(trace, srv);
+  streaming::SubApertureCacheConfig cache_config;
+  if (config.plan_cache_capacity == 0) cache_config.capacity = 0;
+  streaming::SubApertureCache subaperture_cache(cache_config);
+  streaming::TraceStreamReplayer stream_replayer(srv, &subaperture_cache);
+  const service::ReplayStats stats =
+      service::replay_trace(trace, srv, &stream_replayer);
   srv.drain();
 
   if (config.shards >= 2) {
@@ -346,6 +371,14 @@ int cmd_serve_trace(const Cli& cli) {
               "%.4f s (miss)\n",
               stats.plan_hits, stats.plan_misses, stats.mean_setup_hit_s,
               stats.mean_setup_miss_s);
+  if (stats.streams > 0) {
+    std::printf("  streaming: %zu sessions, %zu pushes -> %zu updates "
+                "(%zu re-anchors), %zu sub-aperture cache hits, %zu "
+                "dropped\n",
+                stats.streams, stats.stream_pushes, stats.stream_updates,
+                stats.stream_reanchors, stats.stream_cache_hits,
+                stats.stream_dropped);
+  }
   return stats.failed == 0 ? 0 : 1;
 }
 
@@ -360,13 +393,16 @@ void usage() {
                "--block 64 --baseline | --scalar | --ffbp --group 4]\n"
                "  pipeline --frames 3 [--ix 128 --pulses 96 --out-prefix p_]\n"
                "  serve-trace [--trace f.json | --scenes 3 --repeats 4 "
-               "--ix 96 --pulses 48 --block 32] [--workers 2 --cache on|off "
-               "--max-pending 64 --shards 1 --shard-workers 1 "
-               "--emit-trace f.json]\n"
+               "--ix 96 --pulses 48 --block 32 | --streaming --streams 2 "
+               "--pushes 12 --chunk 16 --window 4 --reanchor 8] "
+               "[--workers 2 --cache on|off --max-pending 64 --shards 1 "
+               "--shard-workers 1 --emit-trace f.json]\n"
                "      replay a sarbp.trace.v1 request trace (or a synthetic\n"
                "      repeated-scene workload) through the multi-tenant job\n"
                "      service and report throughput, latency percentiles,\n"
-               "      and plan-cache effectiveness\n"
+               "      and plan-cache effectiveness; --streaming generates a\n"
+               "      sliding-aperture workload instead (trace entries with\n"
+               "      a nonzero \"stream\" feed incremental-update sessions)\n"
                "unknown subcommands or flags exit with status 2\n"
                "every command accepts --metrics-out=metrics.json to dump the\n"
                "structured observability registry (stage spans, queue gauges,\n"
@@ -409,7 +445,8 @@ int main(int argc, char** argv) {
       bad_flag = cli.unknown_flag({"trace", "emit-trace", "scenes", "repeats",
                                    "ix", "pulses", "block", "workers", "cache",
                                    "max-pending", "shards", "shard-workers",
-                                   "metrics-out"});
+                                   "streaming", "streams", "pushes", "chunk",
+                                   "window", "reanchor", "metrics-out"});
       if (!bad_flag) rc = cmd_serve_trace(cli);
     } else {
       known = false;

@@ -32,13 +32,16 @@ Rules (names are what `// lint: allow(<rule>)` suppressions refer to):
                   telling you what the build's baseline was) carries
                   explicit suppressions.
 
-  queue-result    In src/service and src/cluster, BoundedQueue push/pop
-                  family results and Communicator recv-family results must
-                  not be discarded — neither as a bare expression statement
-                  nor via a (void) cast. Admission control, the close/drain
-                  protocol, and the shard gather protocol live entirely in
-                  those return values: a dropped recv is a reply (or abort
-                  notification) silently thrown away.
+  queue-result    In src/service, src/cluster, and src/streaming,
+                  BoundedQueue push/pop family results and Communicator
+                  recv-family results must not be discarded — neither as a
+                  bare expression statement nor via a (void) cast.
+                  Admission control, the close/drain protocol, and the
+                  shard gather protocol live entirely in those return
+                  values: a dropped recv is a reply (or abort notification)
+                  silently thrown away. Streaming rides the same serving
+                  queues (stream updates are custom service jobs), so a
+                  dropped result there is a silently lost update.
 
 Suppression syntax (same line, or alone on the line directly above):
 
@@ -194,7 +197,8 @@ def suppressions_for(lines: list[str], idx: int) -> tuple[set[str], list[Finding
 def scan_file(path: pathlib.Path, text: str) -> list[Finding]:
     rel = path
     in_queue_scope = ("src/service" in path.as_posix() or
-                      "src/cluster" in path.as_posix())
+                      "src/cluster" in path.as_posix() or
+                      "src/streaming" in path.as_posix())
     in_src = path.as_posix().startswith("src/")
     is_annotation_header = path.as_posix() == ANNOTATION_HEADER.as_posix()
 
@@ -346,6 +350,14 @@ SELFTEST_CASES = [
     ("src/service/s.cpp", "fe->recv_vec<float>(s, kTag);\n",
      ["queue-result"]),
     ("src/other/s.cpp", "comm.recv(0, 7);\n", []),  # out of scope
+    # src/streaming is in scope for the src-wide rules AND queue-result.
+    ("src/streaming/s.cpp", "std::mutex m;\n", ["raw-mutex"]),
+    ("src/streaming/s.cpp", "x.store(1, std::memory_order_release);\n",
+     ["order-comment"]),
+    ("src/streaming/s.cpp", "pending_.push(std::move(chunk));\n",
+     ["queue-result"]),
+    ("src/streaming/s.cpp", "if (!pending_.push(chunk)) return false;\n",
+     []),
 ]
 
 
