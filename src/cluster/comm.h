@@ -79,7 +79,11 @@ class Cluster {
 
  private:
   struct Mailbox {
-    Mutex mutex;
+    // Acquired before reason_mutex_ (take() throws aborted_error() under
+    // the box lock). Nested-struct scope cannot name the outer member in
+    // SARBP_ACQUIRED_BEFORE; the edge lives in tools/lock_hierarchy.py
+    // and the runtime detector instead.
+    Mutex mutex{SARBP_LOCK_LEVEL("cluster.mailbox")};
     CondVar cv;
     std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> messages
         SARBP_GUARDED_BY(mutex);
@@ -91,14 +95,18 @@ class Cluster {
 
   // Abortable generation-counting barrier (std::barrier cannot be woken
   // early, which is exactly the hang this replaces).
-  Mutex barrier_mutex_;
+  Mutex barrier_mutex_ SARBP_ACQUIRED_BEFORE(reason_mutex_){
+      SARBP_LOCK_LEVEL("cluster.barrier")};
   CondVar barrier_cv_;
   int barrier_arrived_ SARBP_GUARDED_BY(barrier_mutex_) = 0;
   std::uint64_t barrier_gen_ SARBP_GUARDED_BY(barrier_mutex_) = 0;
   const int barrier_width_;
 
   std::atomic<bool> aborted_{false};
-  mutable Mutex reason_mutex_;
+  // Innermost cluster level: wait_barrier()/take() throw aborted_error()
+  // (which reads the reason) while still holding their own locks.
+  mutable Mutex reason_mutex_ SARBP_ACQUIRED_AFTER(barrier_mutex_){
+      SARBP_LOCK_LEVEL("cluster.reason")};
   std::string abort_reason_ SARBP_GUARDED_BY(reason_mutex_);
 };
 

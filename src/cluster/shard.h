@@ -73,7 +73,7 @@ class ShardCluster {
   Communicator frontend_;
   std::vector<std::thread> threads_;
 
-  mutable Mutex error_mutex_;
+  mutable Mutex error_mutex_{SARBP_LOCK_LEVEL("cluster.shard_error")};
   std::string first_error_ SARBP_GUARDED_BY(error_mutex_);
   bool joined_ SARBP_GUARDED_BY(error_mutex_) = false;
 };

@@ -1,0 +1,277 @@
+// Runtime lock-order cycle detector implementation (see deadlock.h).
+//
+// This file is only compiled into sarbp_common when the build sets
+// SARBP_DEADLOCK_CHECK=1 (CMake option of the same name), and it is the
+// one translation unit outside thread_annotations.h allowed to use a raw
+// std::mutex: the detector cannot guard its own graph with a tracked
+// sarbp::Mutex, because the hooks would then re-enter themselves.
+
+#include "common/deadlock.h"
+
+#if SARBP_DEADLOCK_CHECK
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>  // lint: allow(raw-mutex) -- the detector's own graph lock must not be a tracked sarbp::Mutex
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sarbp::lockdep {
+namespace {
+
+struct Node;
+
+struct GraphEdge {
+  Node* to = nullptr;
+  Site holder_site;   // where the `from` lock was held, first observation
+  Site acquire_site;  // where the `to` lock was being acquired
+};
+
+struct Node {
+  std::string name;
+  std::vector<GraphEdge> out;
+};
+
+struct HeldEntry {
+  const void* mutex = nullptr;
+  const char* level = nullptr;
+  Site site;
+  bool via_try = false;
+};
+
+// The graph is keyed by level NAME (std::map nodes are address-stable, so
+// Node* edges stay valid across inserts). Instances of the same level are
+// one node: the hierarchy is a property of the code, not of objects.
+std::mutex g_graph_mu;  // lint: allow(raw-mutex) -- see file comment
+std::map<std::string, Node>* g_graph = nullptr;
+std::atomic<std::size_t> g_edges{0};
+std::atomic<std::size_t> g_cycles{0};
+std::atomic<ReportHandler> g_handler{nullptr};
+
+// Per-thread held stack, and a re-entry guard: the report handler (and
+// the obs-metric updates in the default one) may take tracked locks;
+// while a hook is on the stack those nested acquisitions are invisible.
+thread_local std::vector<HeldEntry> t_held;
+thread_local bool t_in_hook = false;
+
+struct HookGuard {
+  HookGuard() { t_in_hook = true; }
+  ~HookGuard() { t_in_hook = false; }
+};
+
+Node& node_for(const char* level) {
+  if (g_graph == nullptr) g_graph = new std::map<std::string, Node>();
+  Node& node = (*g_graph)[level];
+  if (node.name.empty()) node.name = level;
+  return node;
+}
+
+// DFS for a path `from` -> ... -> `to` over the existing edge set,
+// appending the path's edges to `path` on success.
+bool find_path(Node* from, Node* to, std::vector<Node*>& visited,
+               std::vector<CycleEdge>& path) {
+  for (Node* seen : visited) {
+    if (seen == from) return false;
+  }
+  visited.push_back(from);
+  for (GraphEdge& edge : from->out) {
+    path.push_back(CycleEdge{from->name.c_str(), edge.to->name.c_str(),
+                             edge.holder_site, edge.acquire_site});
+    if (edge.to == to || find_path(edge.to, to, visited, path)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+void default_report(const CycleReport& report) {
+  std::fprintf(stderr,
+               "[sarbp lockdep] lock-order cycle detected (%zu edges):\n",
+               report.edges.size());
+  for (const CycleEdge& edge : report.edges) {
+    std::fprintf(stderr,
+                 "  %s -> %s  (held at %s:%d, acquiring at %s:%d)\n",
+                 edge.from, edge.to, edge.holder_site.file,
+                 edge.holder_site.line, edge.acquire_site.file,
+                 edge.acquire_site.line);
+  }
+  if constexpr (obs::kEnabled) {
+    obs::registry().counter("deadlock.cycles").add();
+  }
+}
+
+void dispatch(const CycleReport& report) {
+  // order: relaxed — statistics counter, read by tests after joining.
+  g_cycles.fetch_add(1, std::memory_order_relaxed);
+  // order: acquire — pairs with set_report_handler's release half, so a
+  // handler installed before the racing acquisition is seen intact.
+  ReportHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(report);
+  } else {
+    default_report(report);
+  }
+}
+
+}  // namespace
+
+void on_lock_attempt(const void* mutex, const char* level, Site site) {
+  (void)mutex;
+  if (t_in_hook || level == nullptr) return;
+  HookGuard guard;
+  // Cycles found under the graph lock are reported after releasing it:
+  // the handler may itself take tracked locks (suppressed by the guard),
+  // and stderr I/O has no business inside the hot-path critical section.
+  std::vector<CycleReport> reports;
+  std::size_t new_edges = 0;
+  {
+    // lint: allow(raw-mutex) -- the detector's graph lock must be untracked
+    std::lock_guard<std::mutex> graph_lock(g_graph_mu);
+    for (const HeldEntry& held : t_held) {
+      if (held.level == nullptr) continue;
+      Node& from = node_for(held.level);
+      Node& to = node_for(level);
+      bool known = false;
+      for (const GraphEdge& edge : from.out) {
+        if (edge.to == &to) {
+          known = true;
+          break;
+        }
+      }
+      if (known) continue;
+      from.out.push_back(GraphEdge{&to, held.site, site});
+      ++new_edges;
+      CycleReport report;
+      report.edges.push_back(CycleEdge{from.name.c_str(), to.name.c_str(),
+                                       held.site, site});
+      if (&from == &to) {
+        // Self-edge: same-level blocking nesting, a cycle of length one.
+        reports.push_back(std::move(report));
+        continue;
+      }
+      std::vector<Node*> visited;
+      if (find_path(&to, &from, visited, report.edges)) {
+        reports.push_back(std::move(report));
+      }
+    }
+  }
+  if (new_edges > 0) {
+    // order: relaxed — statistics counter, read by tests after joining.
+    g_edges.fetch_add(new_edges, std::memory_order_relaxed);
+    if constexpr (obs::kEnabled) {
+      obs::registry().counter("deadlock.edges").add(
+          static_cast<std::int64_t>(new_edges));
+    }
+  }
+  for (const CycleReport& report : reports) dispatch(report);
+}
+
+void on_lock_acquired(const void* mutex, const char* level, Site site,
+                      bool via_try) {
+  if (t_in_hook) return;
+  t_held.push_back(HeldEntry{mutex, level, site, via_try});
+}
+
+void on_unlock(const void* mutex) {
+  if (t_in_hook) return;
+  // Search from the back: MutexLock allows out-of-LIFO-order unlock, and
+  // the most recent entry for this mutex is the one being released.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not found: acquired while a hook was on the stack (guard-suppressed)
+  // or on another thread. Nothing to pop.
+}
+
+Site on_wait_begin(const void* mutex) {
+  if (t_in_hook) return Site{};
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      const Site site = it->site;
+      t_held.erase(std::next(it).base());
+      return site;
+    }
+  }
+  return Site{};
+}
+
+void on_wait_end(const void* mutex, const char* level, Site site) {
+  if (t_in_hook) return;
+  t_held.push_back(HeldEntry{mutex, level, site, /*via_try=*/false});
+}
+
+ReportHandler set_report_handler(ReportHandler handler) {
+  // order: acq_rel — release publishes the handler to dispatch()'s
+  // acquire load; acquire orders the returned previous handler.
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+std::size_t edges_observed() noexcept {
+  // order: relaxed — statistics counter, read after the work is joined.
+  return g_edges.load(std::memory_order_relaxed);
+}
+
+std::size_t cycles_reported() noexcept {
+  // order: relaxed — statistics counter, read after the work is joined.
+  return g_cycles.load(std::memory_order_relaxed);
+}
+
+void reset_for_test() {
+  // lint: allow(raw-mutex) -- the detector's graph lock must be untracked
+  std::lock_guard<std::mutex> graph_lock(g_graph_mu);
+  if (g_graph != nullptr) g_graph->clear();
+  // order: relaxed — test-only reset with no concurrent lock traffic.
+  g_edges.store(0, std::memory_order_relaxed);
+  g_cycles.store(0, std::memory_order_relaxed);
+}
+
+std::vector<CycleEdge> snapshot_edges() {
+  std::vector<CycleEdge> edges;
+  // lint: allow(raw-mutex) -- the detector's graph lock must be untracked
+  std::lock_guard<std::mutex> graph_lock(g_graph_mu);
+  if (g_graph == nullptr) return edges;
+  for (auto& [name, node] : *g_graph) {
+    for (const GraphEdge& edge : node.out) {
+      edges.push_back(CycleEdge{node.name.c_str(), edge.to->name.c_str(),
+                                edge.holder_site, edge.acquire_site});
+    }
+  }
+  return edges;
+}
+
+namespace {
+
+// SARBP_LOCKDEP_DUMP=1 prints the observed acquires-after edge set when
+// the process exits — the ground truth for tools/lock_hierarchy.py.
+struct DumpAtExit {
+  DumpAtExit() {
+    if (const char* flag = std::getenv("SARBP_LOCKDEP_DUMP");
+        flag != nullptr && flag[0] != '\0' && flag[0] != '0') {
+      std::atexit([] {
+        const std::vector<CycleEdge> edges = snapshot_edges();
+        std::fprintf(stderr, "[sarbp lockdep] %zu acquires-after edges:\n",
+                     edges.size());
+        for (const CycleEdge& edge : edges) {
+          std::fprintf(stderr, "  %s -> %s  (held at %s:%d, acquired at %s:%d)\n",
+                       edge.from, edge.to, edge.holder_site.file,
+                       edge.holder_site.line, edge.acquire_site.file,
+                       edge.acquire_site.line);
+        }
+      });
+    }
+  }
+};
+DumpAtExit g_dump_at_exit;
+
+}  // namespace
+
+}  // namespace sarbp::lockdep
+
+#endif  // SARBP_DEADLOCK_CHECK

@@ -1,0 +1,114 @@
+// Runtime lock-order cycle detector (SARBP_DEADLOCK_CHECK builds only).
+//
+// The third layer of the deadlock-freedom verification pass (DESIGN.md
+// §14): the annotated sarbp::Mutex / MutexLock / CondVar wrappers
+// (src/common/thread_annotations.h) call these hooks on every
+// acquisition, release and condition wait, and the detector maintains
+//
+//   - a per-thread stack of currently held locks (with the level name
+//     declared via SARBP_LOCK_LEVEL and the acquisition site captured
+//     from __builtin_FILE/__builtin_LINE at the call), and
+//   - a global acquires-after edge graph keyed by LEVEL, not instance:
+//     blocking-acquiring B while holding A records the edge A -> B the
+//     first time that pair is observed.
+//
+// On each NEW edge a DFS over the existing graph looks for a path back
+// from B to A; finding one means two code paths acquire some set of
+// levels in contradictory orders — a potential deadlock even if this
+// particular run never interleaved into one. The full cycle, with the
+// acquisition sites that first witnessed each edge, goes to the report
+// handler (default: stderr + `deadlock.cycles` / `deadlock.edges` obs
+// metrics, non-fatal so a full test run surfaces every distinct cycle).
+//
+// Rules the detector encodes (rationale in DESIGN.md §14):
+//   - try_lock successes record NO incoming edge (a try never blocks, so
+//     it cannot close a wait cycle) but ARE pushed on the held stack —
+//     blocking-acquiring another lock while holding a try-acquired one is
+//     a real ordering constraint and is recorded.
+//   - same-level blocking nesting is a self-edge and reports immediately:
+//     same-rank nesting must go through try_lock or a finer level split.
+//   - unleveled mutexes (no SARBP_LOCK_LEVEL) are invisible to the graph;
+//     the `lock-level` lint rule keeps src/ free of them.
+//   - CondVar waits pop the mutex for the wait's duration and re-push on
+//     wake without recording edges (the held set is unchanged from the
+//     original acquisition).
+//
+// Everything here is compiled only when SARBP_DEADLOCK_CHECK=1; release
+// builds contain none of it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sarbp::lockdep {
+
+/// An acquisition site, captured from the caller of Mutex::lock /
+/// MutexLock at zero syntactic cost via __builtin_FILE/__builtin_LINE
+/// default arguments.
+struct Site {
+  const char* file = "?";
+  int line = 0;
+};
+
+/// One edge of a reported cycle: `from` was held (acquired at
+/// holder_site) while `to` was blocking-acquired (at acquire_site) — the
+/// sites are from the first observation of the edge.
+struct CycleEdge {
+  const char* from = nullptr;
+  const char* to = nullptr;
+  Site holder_site;
+  Site acquire_site;
+};
+
+/// A lock-order cycle: edges[i].to == edges[i+1].from, wrapping around.
+struct CycleReport {
+  std::vector<CycleEdge> edges;
+};
+
+/// Called before blocking on the underlying mutex: records ordering edges
+/// from every held leveled lock to `level` and runs cycle detection on
+/// each new edge — so a true deadlock still gets its report printed
+/// before the thread wedges. `level` may be nullptr (unleveled).
+void on_lock_attempt(const void* mutex, const char* level, Site site);
+
+/// Called after the underlying mutex is held: pushes onto the per-thread
+/// held stack. `via_try` marks try_lock successes (no edges were
+/// recorded for them).
+void on_lock_acquired(const void* mutex, const char* level, Site site,
+                      bool via_try);
+
+/// Called before the underlying mutex is released: pops the (most recent)
+/// held-stack entry for `mutex`.
+void on_unlock(const void* mutex);
+
+/// CondVar wait protocol: `on_wait_begin` pops the entry for `mutex` and
+/// returns its original acquisition site; `on_wait_end` re-pushes it with
+/// that site after the wait reacquires, recording no edges.
+Site on_wait_begin(const void* mutex);
+void on_wait_end(const void* mutex, const char* level, Site site);
+
+/// Cycle reports go to the installed handler. Passing nullptr restores
+/// the default (stderr + deadlock.* obs metrics). Returns the previous
+/// handler. The handler runs with hook re-entry suppressed on the calling
+/// thread, so it may take tracked locks (e.g. the obs registry) freely.
+using ReportHandler = void (*)(const CycleReport&);
+ReportHandler set_report_handler(ReportHandler handler);
+
+/// Totals since start (or the last reset): distinct level-pair edges
+/// observed, and cycles reported. A clean full-suite run asserts
+/// cycles_reported() == 0.
+std::size_t edges_observed() noexcept;
+std::size_t cycles_reported() noexcept;
+
+/// Test-only: drops the edge graph and zeroes the counters so fixtures
+/// that seed deliberate inversions don't leak edges into later tests.
+/// Callers must hold no tracked locks.
+void reset_for_test();
+
+/// Copies the current acquires-after edge set (with first-observation
+/// sites). Tests assert seeded edges; setting SARBP_LOCKDEP_DUMP=1 in the
+/// environment prints the set at process exit — the raw material for
+/// keeping tools/lock_hierarchy.py honest.
+std::vector<CycleEdge> snapshot_edges();
+
+}  // namespace sarbp::lockdep

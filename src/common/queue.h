@@ -203,7 +203,7 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{SARBP_LOCK_LEVEL("common.queue")};
   CondVar not_empty_;
   CondVar not_full_;
   std::deque<T> items_ SARBP_GUARDED_BY(mutex_);

@@ -128,13 +128,13 @@ class TileExecutor {
 
   /// Keeps injected groups alive until their last task finishes (deques
   /// hold raw TaskUnit pointers into the group).
-  Mutex live_mutex_;
+  Mutex live_mutex_{SARBP_LOCK_LEVEL("exec.live")};
   std::unordered_map<TaskGroup*, GroupPtr> live_ SARBP_GUARDED_BY(live_mutex_);
 
   /// Idle workers park here (bounded wait) instead of sleep-polling;
   /// inject() and drain() notify so new stealable work or shutdown is
   /// picked up immediately.
-  Mutex idle_mutex_;
+  Mutex idle_mutex_{SARBP_LOCK_LEVEL("exec.idle")};
   CondVar idle_cv_;
 
   std::vector<std::thread> threads_;

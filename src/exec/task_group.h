@@ -145,7 +145,7 @@ class TaskGroup {
 
   std::vector<TaskUnit> units_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{SARBP_LOCK_LEVEL("exec.group")};
   CondVar cv_;
   bool done_ SARBP_GUARDED_BY(mutex_) = false;
   double wall_seconds_ SARBP_GUARDED_BY(mutex_) = 0.0;

@@ -109,7 +109,7 @@ class TileBackend {
   const std::string name_;
   const double rate_prior_;
   const double rate_smoothing_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{SARBP_LOCK_LEVEL("exec.backend")};
   double rate_ SARBP_GUARDED_BY(mutex_) = 0.0;
 
   obs::Counter* sweeps_ = nullptr;

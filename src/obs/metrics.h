@@ -182,7 +182,10 @@ class Registry {
   void reset();
 
  private:
-  mutable Mutex mutex_;
+  // Innermost level of the whole hierarchy: metric lookups happen under
+  // module locks everywhere (queue depths, job finish stamps), so nothing
+  // may be acquired while the registry lock is held.
+  mutable Mutex mutex_{SARBP_LOCK_LEVEL("obs.registry")};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       SARBP_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_

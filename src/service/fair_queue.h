@@ -106,7 +106,7 @@ class FairScheduler {
   FairSchedulerConfig config_;
   obs::Registry* metrics_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{SARBP_LOCK_LEVEL("service.fair")};
   CondVar claim_cv_;   ///< signalled on admit and close
   CondVar space_cv_;   ///< signalled on claim (pending space freed)
   std::array<ClassState, kNumPriorities> classes_ SARBP_GUARDED_BY(mutex_);

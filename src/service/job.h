@@ -297,7 +297,7 @@ class JobHandle {
   ImageFormationRequest request_;
   std::atomic<JobState> state_{JobState::kQueued};
   std::atomic<bool> cancel_requested_{false};
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{SARBP_LOCK_LEVEL("service.job")};
   CondVar cv_;
   JobResult result_ SARBP_GUARDED_BY(mutex_);
   // Stamped by the service at admission. The registry and sequence pointer

@@ -174,7 +174,7 @@ class PlanCache {
   void update_gauges_locked() SARBP_REQUIRES(mutex_);
 
   const std::size_t capacity_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{SARBP_LOCK_LEVEL("service.plan_cache")};
   /// Front = most recently used.
   std::list<std::shared_ptr<const FormationPlan>> lru_
       SARBP_GUARDED_BY(mutex_);

@@ -171,7 +171,7 @@ namespace {
 /// Shared outcome of one running job, written by whichever worker's
 /// checkpoint trips first and read by the completion continuation.
 struct RunCtx {
-  Mutex mutex;
+  Mutex mutex{SARBP_LOCK_LEVEL("service.runctx")};
   JobState outcome SARBP_GUARDED_BY(mutex) = JobState::kDone;
   std::string error SARBP_GUARDED_BY(mutex);
   std::chrono::steady_clock::time_point compute_start;

@@ -205,7 +205,7 @@ class ImageFormationService {
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> completion_seq_{0};
 
-  Mutex gate_mutex_;
+  Mutex gate_mutex_{SARBP_LOCK_LEVEL("service.gate")};
   CondVar gate_cv_;
   bool gate_open_ SARBP_GUARDED_BY(gate_mutex_);
 

@@ -42,7 +42,7 @@ int severity(JobState s) {
 /// trips first decides (same first-trip-wins discipline as the service's
 /// single-node RunCtx).
 struct PartState {
-  Mutex mutex;
+  Mutex mutex{SARBP_LOCK_LEVEL("service.part")};
   std::int32_t status SARBP_GUARDED_BY(mutex);
   std::string error SARBP_GUARDED_BY(mutex);
 

@@ -190,7 +190,7 @@ class ShardRouter {
   ShardRouterConfig config_;
   obs::Registry* metrics_;
 
-  mutable Mutex table_mutex_;
+  mutable Mutex table_mutex_{SARBP_LOCK_LEVEL("service.shard_table")};
   std::map<std::uint64_t, CtxPtr> inflight_ SARBP_GUARDED_BY(table_mutex_);
 
   /// Dispatched jobs in dispatch order — what the gather thread drains.

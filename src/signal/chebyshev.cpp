@@ -70,7 +70,7 @@ struct SinCosPlan {
 const SinCosPlan& plan_for(int degree) {
   ensure(degree >= 1 && degree <= 16, "sincos_chebyshev: degree in [1, 16]");
   static std::array<std::unique_ptr<SinCosPlan>, 17> plans;
-  static Mutex mutex;
+  static Mutex mutex{SARBP_LOCK_LEVEL("signal.chebyshev")};
   MutexLock lock(mutex);
   auto& slot = plans[static_cast<std::size_t>(degree)];
   if (!slot) {

@@ -561,7 +561,7 @@ class StreamSession::Impl : public std::enable_shared_from_this<Impl> {
   const std::vector<asr::BlockSpec> blocks_;
   KernelSel sel_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{SARBP_LOCK_LEVEL("streaming.session")};
   CondVar cv_;
 
   // Sampling geometry, fixed by the first push.

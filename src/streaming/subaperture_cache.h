@@ -99,7 +99,7 @@ class SubApertureCache {
 
   const SubApertureCacheConfig config_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{SARBP_LOCK_LEVEL("streaming.cache")};
   /// Front = most recently used.
   std::list<Entry> lru_ SARBP_GUARDED_BY(mutex_);
   std::unordered_map<service::PlanKey, std::list<Entry>::iterator,

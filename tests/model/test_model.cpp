@@ -9,8 +9,11 @@
 // every execution, so a violation pinpoints the schedule (hash) that broke.
 //
 // The suite also checks the checker: intentionally buggy variants — an
-// owner pop without the last-item CAS, and the pre-PR 3 notify-after-unlock
-// completion path — MUST produce a violation in some explored schedule.
+// owner pop without the last-item CAS, the pre-PR 3 notify-after-unlock
+// completion path, the pre-PR 9 classify-after-publish streaming tail, and
+// the pre-PR 6 abort-blind mailbox wait — MUST produce a violation (or a
+// detected deadlock) in some explored schedule, while the shipped fixed
+// variants must stay clean across the same exploration.
 #include "model_sync.h"
 
 #include <array>
@@ -19,6 +22,7 @@
 #include <set>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -410,6 +414,209 @@ TEST(ModelScheduler, DetectsAbbaDeadlock) {
   EXPECT_LT(out.deadlocks, out.executions)
       << "and complete cleanly in others";
   EXPECT_EQ(out.violations, 0);
+}
+
+// ---------------------------------------------------------------------------
+// 6. The PR 9 wait_idle-vs-classification race, distilled from
+// streaming.cpp complete_update(): the retired update's stats
+// classification must land in the SAME critical section that clears
+// inflight_update_ and notifies, or a wait_idle() caller can observe the
+// session idle while the update is not yet counted. The buggy variant is
+// the pre-fix shape — idleness published and waiters woken first,
+// classification in a later critical section — and the checker must find
+// a schedule where the waiter reads stale stats.
+
+template <bool kClassifyUnderPublishLock>
+struct StreamIdleGate {
+  ModelMutex mu;
+  ModelCondVar cv;
+  bool inflight = true;  ///< one update already submitted and in flight
+  int classified = 0;    ///< sum of the stats_.updates_* buckets
+
+  /// complete_update()'s tail: classify the retired update and publish
+  /// idleness.
+  void complete() {
+    if constexpr (kClassifyUnderPublishLock) {
+      mu.lock();
+      classified += 1;
+      inflight = false;
+      cv.notify_all();
+      mu.unlock();
+    } else {
+      // BUG (pre-PR 9): wait_idle()'s predicate turns true and its waiter
+      // wakes here, before the classification lands below.
+      mu.lock();
+      inflight = false;
+      cv.notify_all();
+      mu.unlock();
+      mu.lock();
+      classified += 1;
+      mu.unlock();
+    }
+  }
+
+  /// wait_idle() followed by the caller's stats read.
+  int wait_idle_then_read() {
+    mu.lock();
+    while (inflight) cv.wait(mu);
+    const int seen = classified;
+    mu.unlock();
+    return seen;
+  }
+};
+
+template <bool kClassifyUnderPublishLock>
+std::pair<Exploration, int> explore_idle_gate() {
+  int stale_reads = 0;
+  auto round = [&](const std::vector<int>& forced, std::uint64_t seed) {
+    StreamIdleGate<kClassifyUnderPublishLock> gate;
+    int seen = -1;
+    VirtualScheduler sched(forced, seed);
+    const Result result = sched.run({
+        [&] { gate.complete(); },
+        [&] { seen = gate.wait_idle_then_read(); },
+    });
+    if (!result.deadlock && !result.truncated && seen != 1) ++stale_reads;
+    return result;
+  };
+  const Exploration out = explore(round, /*dfs_depth=*/10, /*random_runs=*/300);
+  return {out, stale_reads};
+}
+
+TEST(ModelStreamIdle, ClassifyAfterPublishLeaksStaleStatsToWaitIdle) {
+  const auto [out, stale_reads] =
+      explore_idle_gate</*kClassifyUnderPublishLock=*/false>();
+  EXPECT_GT(stale_reads, 0)
+      << "the pre-fix classify-after-publish path should let wait_idle "
+         "return before the update is counted in some schedule ("
+      << out.executions << " explored)";
+  EXPECT_EQ(out.deadlocks, 0);
+  EXPECT_EQ(out.violations, 0);
+}
+
+TEST(ModelStreamIdle, ClassifyUnderPublishLockIsAlwaysCounted) {
+  const auto [out, stale_reads] =
+      explore_idle_gate</*kClassifyUnderPublishLock=*/true>();
+  EXPECT_EQ(stale_reads, 0)
+      << "an idle session must have every retired update classified";
+  EXPECT_EQ(out.deadlocks, 0);
+  EXPECT_EQ(out.truncated, 0);
+  EXPECT_EQ(out.violations, 0);
+}
+
+// ---------------------------------------------------------------------------
+// 7. The PR 6 mailbox abort protocol, distilled from comm.cpp: take()
+// must check the abort flag inside its wait loop — but only when the box
+// is empty, so messages delivered before the abort still drain (the
+// gather path relies on that) — and abort() must lock/unlock the mailbox
+// mutex before notifying, closing the check-then-wait lost-wakeup window.
+// The buggy variant waits with no abort awareness: a receiver waiting for
+// a message nobody will ever send parks forever, which the scheduler
+// reports as a deadlock — the rank-failure hang PR 6 fixed, rediscovered
+// here by exhaustive interleaving.
+
+constexpr int kMailboxAborted = -1;
+
+template <bool kAbortAware>
+struct ModelMailbox {
+  ModelMutex mu;
+  ModelCondVar cv;
+  std::vector<int> messages;    // guarded by mu
+  ModelAtomic<int> aborted{0};  // real code: std::atomic<bool>, acq/rel
+
+  void deliver(int payload) {
+    mu.lock();
+    messages.push_back(payload);
+    mu.unlock();
+    cv.notify_all();  // faithful to deliver(): notify outside the lock
+  }
+
+  /// Cluster::take(), returning kMailboxAborted where the real code
+  /// throws aborted_error() (model threads must not leak exceptions).
+  int take() {
+    ModelMutexLock lock(mu);
+    while (messages.empty()) {
+      if constexpr (kAbortAware) {
+        // Checked only when the box has nothing for us: pre-abort
+        // deliveries drain normally, only a wait that could never be
+        // satisfied turns into an abort.
+        if (aborted.load() != 0) return kMailboxAborted;
+      }
+      cv.wait(mu);
+    }
+    const int payload = messages.front();
+    messages.erase(messages.begin());
+    return payload;
+  }
+
+  void abort() {
+    aborted.store(1);
+    if constexpr (kAbortAware) {
+      // Lock/unlock before notifying (Cluster::abort does this per box):
+      // a receiver is then either before its flag check under the mutex
+      // (and will see the flag) or already parked in wait (and gets the
+      // notify). Without the handshake the notify can land in between —
+      // the classic lost wakeup.
+      mu.lock();
+      mu.unlock();
+    }
+    cv.notify_all();
+  }
+};
+
+template <bool kAbortAware>
+std::pair<Exploration, int> explore_mailbox() {
+  int drain_violations = 0;
+  auto round = [&](const std::vector<int>& forced, std::uint64_t seed) {
+    ModelMailbox<kAbortAware> box;
+    int first = 0;
+    int second = 0;
+    VirtualScheduler sched(forced, seed);
+    const Result result = sched.run({
+        [&] {  // sender rank: one payload, then the rank dies -> abort
+          box.deliver(42);
+          box.abort();
+        },
+        [&] {  // receiver rank: drains the payload, then waits on a
+               // message nobody will ever send
+          first = box.take();
+          second = box.take();
+        },
+    });
+    // Drain-after-abort: in every completed run the pre-abort delivery is
+    // received and only the unsatisfiable wait aborts.
+    if (!result.deadlock && !result.truncated &&
+        (first != 42 || second != kMailboxAborted)) {
+      ++drain_violations;
+    }
+    return result;
+  };
+  const Exploration out = explore(round, /*dfs_depth=*/10, /*random_runs=*/300);
+  return {out, drain_violations};
+}
+
+TEST(ModelMailbox, AbortBlindWaitHangsTheReceiver) {
+  const auto [out, drain_violations] = explore_mailbox</*kAbortAware=*/false>();
+  (void)drain_violations;  // deadlocked runs never reach the drain check
+  EXPECT_GT(out.deadlocks, 0)
+      << "the pre-fix abort-blind wait should park the receiver forever in "
+         "some schedule ("
+      << out.executions << " explored)";
+  // The hang is unconditional — the second take() can never be satisfied —
+  // which is exactly the rank-failure symptom.
+  EXPECT_EQ(out.deadlocks, out.executions);
+  EXPECT_EQ(out.violations, 0);
+}
+
+TEST(ModelMailbox, AbortAwareTakeDrainsThenUnwinds) {
+  const auto [out, drain_violations] = explore_mailbox</*kAbortAware=*/true>();
+  EXPECT_EQ(out.deadlocks, 0)
+      << "the abort-aware protocol must never hang, in any schedule";
+  EXPECT_EQ(out.truncated, 0);
+  EXPECT_EQ(out.violations, 0);
+  EXPECT_EQ(drain_violations, 0)
+      << "messages delivered before the abort must still drain, and the "
+         "unsatisfiable wait must unwind as aborted";
 }
 
 TEST(ModelScheduler, FixedSeedIsDeterministic) {

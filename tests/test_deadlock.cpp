@@ -1,0 +1,242 @@
+// Unit tests for the runtime lock-order cycle detector (DESIGN.md §14,
+// src/common/deadlock.h). The detector only exists in
+// -DSARBP_DEADLOCK_CHECK=ON builds (tools/run_sanitized_tests.sh builds
+// the TSan configuration that way, so these run under TSan too); in a
+// plain build every test here skips.
+//
+// Levels are seeded with fictional "test.*" names so a deliberately
+// inverted pair never contaminates the real hierarchy's edge set, and
+// each test resets the global graph when it is done.
+
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.h"
+
+#if SARBP_DEADLOCK_CHECK
+
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/deadlock.h"
+
+namespace sarbp {
+namespace {
+
+// Captured cycle reports. The handler may fire from any thread, so the
+// sink is locked (a plain std::mutex: test code, and the detector must
+// not track its own observer).
+std::mutex g_reports_mu;
+std::vector<lockdep::CycleReport> g_reports;
+
+void capture_report(const lockdep::CycleReport& report) {
+  std::lock_guard<std::mutex> lock(g_reports_mu);
+  g_reports.push_back(report);
+}
+
+std::vector<lockdep::CycleReport> take_reports() {
+  std::lock_guard<std::mutex> lock(g_reports_mu);
+  std::vector<lockdep::CycleReport> out = g_reports;
+  g_reports.clear();
+  return out;
+}
+
+// Installs the capture handler and resets the global graph for the
+// test's duration, restoring both afterwards.
+class DeadlockDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lockdep::reset_for_test();
+    take_reports();
+    previous_ = lockdep::set_report_handler(&capture_report);
+  }
+  void TearDown() override {
+    lockdep::set_report_handler(previous_);
+    lockdep::reset_for_test();
+  }
+
+ private:
+  lockdep::ReportHandler previous_ = nullptr;
+};
+
+bool has_edge(const lockdep::CycleReport& report, const char* from,
+              const char* to) {
+  for (const lockdep::CycleEdge& edge : report.edges) {
+    if (std::strcmp(edge.from, from) == 0 &&
+        std::strcmp(edge.to, to) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST_F(DeadlockDetectorTest, AbBaInversionOnTwoThreadsReportsCycle) {
+  Mutex a{SARBP_LOCK_LEVEL("test.order.a")};
+  Mutex b{SARBP_LOCK_LEVEL("test.order.b")};
+
+  // Thread 1 establishes a -> b; thread 2 (strictly afterwards, so the
+  // test itself can never deadlock) acquires b -> a. The detector flags
+  // the ORDER contradiction even though no run ever wedges.
+  std::thread forward([&] {
+    MutexLock lock_a(a);
+    MutexLock lock_b(b);
+  });
+  forward.join();
+  std::thread backward([&] {
+    MutexLock lock_b(b);
+    MutexLock lock_a(a);
+  });
+  backward.join();
+
+  const auto reports = take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  const lockdep::CycleReport& cycle = reports[0];
+  ASSERT_EQ(cycle.edges.size(), 2u);
+  EXPECT_TRUE(has_edge(cycle, "test.order.b", "test.order.a"));
+  EXPECT_TRUE(has_edge(cycle, "test.order.a", "test.order.b"));
+  // The report carries real acquisition sites: both ends of both edges
+  // were acquired in this file, on positive line numbers.
+  for (const lockdep::CycleEdge& edge : cycle.edges) {
+    EXPECT_NE(std::string(edge.holder_site.file).find("test_deadlock"),
+              std::string::npos);
+    EXPECT_NE(std::string(edge.acquire_site.file).find("test_deadlock"),
+              std::string::npos);
+    EXPECT_GT(edge.holder_site.line, 0);
+    EXPECT_GT(edge.acquire_site.line, 0);
+  }
+  EXPECT_EQ(lockdep::cycles_reported(), 1u);
+  EXPECT_EQ(lockdep::edges_observed(), 2u);
+}
+
+TEST_F(DeadlockDetectorTest, NestedSameLevelTryLockIsNotACycle) {
+  // Two instances of ONE level, nested via try_lock: the pattern the
+  // hierarchy permits for same-rank nesting (a try never blocks, so it
+  // cannot close a wait cycle). No edge, no report.
+  Mutex first{SARBP_LOCK_LEVEL("test.same")};
+  Mutex second{SARBP_LOCK_LEVEL("test.same")};
+
+  first.lock();
+  ASSERT_TRUE(second.try_lock());
+  second.unlock();
+  first.unlock();
+
+  EXPECT_TRUE(take_reports().empty());
+  EXPECT_EQ(lockdep::cycles_reported(), 0u);
+  EXPECT_EQ(lockdep::edges_observed(), 0u);
+}
+
+TEST_F(DeadlockDetectorTest, NestedSameLevelBlockingLockIsASelfCycle) {
+  // The counterpart rule: BLOCKING same-level nesting is reported as a
+  // one-edge cycle — two threads running this path against swapped
+  // instances deadlock, and no hierarchy rank can distinguish them.
+  Mutex first{SARBP_LOCK_LEVEL("test.self")};
+  Mutex second{SARBP_LOCK_LEVEL("test.self")};
+
+  {
+    MutexLock outer(first);
+    MutexLock inner(second);
+  }
+
+  const auto reports = take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  ASSERT_EQ(reports[0].edges.size(), 1u);
+  EXPECT_TRUE(has_edge(reports[0], "test.self", "test.self"));
+}
+
+TEST_F(DeadlockDetectorTest, ConsistentOrderAcrossThreadsIsClean) {
+  // Many threads, same acquisition order: edges accumulate, cycles never.
+  Mutex outer{SARBP_LOCK_LEVEL("test.outer")};
+  Mutex middle{SARBP_LOCK_LEVEL("test.middle")};
+  Mutex inner{SARBP_LOCK_LEVEL("test.inner")};
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < 10; ++rep) {
+        MutexLock lock_outer(outer);
+        MutexLock lock_middle(middle);
+        MutexLock lock_inner(inner);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_TRUE(take_reports().empty());
+  EXPECT_EQ(lockdep::cycles_reported(), 0u);
+  // outer->middle, outer->inner, middle->inner: each recorded once.
+  EXPECT_EQ(lockdep::edges_observed(), 3u);
+}
+
+TEST_F(DeadlockDetectorTest, ThreeLockCycleAcrossThreadsIsFound) {
+  // No single inverted pair; the contradiction only exists around the
+  // full a -> b -> c -> a loop, which the DFS walks.
+  Mutex a{SARBP_LOCK_LEVEL("test.ring.a")};
+  Mutex b{SARBP_LOCK_LEVEL("test.ring.b")};
+  Mutex c{SARBP_LOCK_LEVEL("test.ring.c")};
+
+  auto nest = [](Mutex& hold, Mutex& then) {
+    std::thread t([&] {
+      MutexLock lock_hold(hold);
+      MutexLock lock_then(then);
+    });
+    t.join();
+  };
+  nest(a, b);
+  nest(b, c);
+  nest(c, a);  // closes the ring
+
+  const auto reports = take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].edges.size(), 3u);
+  EXPECT_TRUE(has_edge(reports[0], "test.ring.c", "test.ring.a"));
+  EXPECT_TRUE(has_edge(reports[0], "test.ring.a", "test.ring.b"));
+  EXPECT_TRUE(has_edge(reports[0], "test.ring.b", "test.ring.c"));
+}
+
+TEST_F(DeadlockDetectorTest, CondVarWaitDoesNotHoldItsMutexInTheGraph) {
+  // A consumer blocked in CondVar::wait has RELEASED its mutex; a
+  // producer signalling it under a lock of its own must not read as
+  // consumer-mutex -> producer-mutex nesting. The wait pops the held
+  // entry, so only the true producer->consumer edge exists.
+  Mutex queue_mutex{SARBP_LOCK_LEVEL("test.queue")};
+  Mutex side_mutex{SARBP_LOCK_LEVEL("test.side")};
+  CondVar ready_cv;
+  bool ready = false;
+
+  std::thread consumer([&] {
+    MutexLock lock(queue_mutex);
+    while (!ready) ready_cv.wait(lock);
+  });
+  std::thread producer([&] {
+    MutexLock side(side_mutex);
+    {
+      MutexLock lock(queue_mutex);
+      ready = true;
+    }
+    ready_cv.notify_all();
+  });
+  producer.join();
+  consumer.join();
+
+  EXPECT_TRUE(take_reports().empty());
+  EXPECT_EQ(lockdep::cycles_reported(), 0u);
+  // The one edge is side -> queue, with its first-observation sites.
+  const auto edges = lockdep::snapshot_edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_STREQ(edges[0].from, "test.side");
+  EXPECT_STREQ(edges[0].to, "test.queue");
+}
+
+}  // namespace
+}  // namespace sarbp
+
+#else  // !SARBP_DEADLOCK_CHECK
+
+TEST(DeadlockDetector, SkippedWithoutDeadlockCheckBuild) {
+  GTEST_SKIP() << "rebuild with -DSARBP_DEADLOCK_CHECK=ON to exercise the "
+                  "lock-order cycle detector";
+}
+
+#endif  // SARBP_DEADLOCK_CHECK

@@ -13,6 +13,12 @@
 #               produce false positives; pinning OpenMP to one thread keeps
 #               the std::thread synchronization under test fully visible
 #               to TSan without the noise.
+#
+# The TSan configuration also turns on SARBP_DEADLOCK_CHECK, so every run
+# doubles as a lock-order audit: the runtime cycle detector (DESIGN.md
+# section 14) watches each binary's real acquisitions, and any hierarchy
+# violation prints a [sarbp lockdep] cycle report. test_deadlock exercises
+# the detector itself and only has teeth in this configuration.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,14 +36,23 @@ run_asan() {
 run_tsan() {
   echo "=== thread sanitizer: concurrency-focused test binaries ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DSARBP_SANITIZE="thread" >/dev/null
+    -DSARBP_SANITIZE="thread" -DSARBP_DEADLOCK_CHECK=ON >/dev/null
   cmake --build build-tsan -j "$jobs" --target \
-    test_common test_obs test_exec test_backends test_pipeline test_service \
-    test_streaming test_cluster test_cluster_service
-  for t in test_common test_obs test_exec test_backends test_pipeline \
-           test_service test_streaming test_cluster test_cluster_service; do
+    test_common test_deadlock test_obs test_exec test_backends test_pipeline \
+    test_service test_streaming test_cluster test_cluster_service
+  for t in test_common test_deadlock test_obs test_exec test_backends \
+           test_pipeline test_service test_streaming test_cluster \
+           test_cluster_service; do
     echo "--- tsan: $t ---"
-    OMP_NUM_THREADS=1 TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
+    tsan_opts="halt_on_error=1"
+    # test_deadlock seeds deliberate lock-order inversions to exercise the
+    # sarbp detector; TSan's own inversion heuristic would flag those same
+    # seeded cycles, so it is off for this one binary (race detection and
+    # every other check stay on).
+    if [ "$t" = "test_deadlock" ]; then
+      tsan_opts="$tsan_opts:detect_deadlocks=0"
+    fi
+    OMP_NUM_THREADS=1 TSAN_OPTIONS="$tsan_opts" "build-tsan/tests/$t"
   done
 }
 

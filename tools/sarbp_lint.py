@@ -43,6 +43,16 @@ Rules (names are what `// lint: allow(<rule>)` suppressions refer to):
                   queues (stream updates are custom service jobs), so a
                   dropped result there is a silently lost update.
 
+  lock-level      Every `sarbp::Mutex` declaration in src/ must declare its
+                  rank in the repo-wide lock hierarchy with
+                  `SARBP_LOCK_LEVEL("name")`, the name must exist in
+                  tools/lock_hierarchy.py LEVELS, and any
+                  SARBP_ACQUIRED_BEFORE/AFTER edge between mutexes declared
+                  in the same file must agree with the registry's
+                  topological order. A deliberately unleveled mutex (e.g. a
+                  test-only fixture lock) carries
+                  `// lint: allow(lock-level)` with a rationale.
+
 Suppression syntax (same line, or alone on the line directly above):
 
     // lint: allow(<rule>) -- <rationale>
@@ -61,6 +71,9 @@ import pathlib
 import re
 import sys
 from dataclasses import dataclass
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import lock_hierarchy  # noqa: E402  (the repo lock-level registry)
 
 ANNOTATION_HEADER = pathlib.Path("src/common/thread_annotations.h")
 
@@ -105,8 +118,18 @@ ISA_TU_ALLOWLIST = (
 
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)\s*(--\s*\S.*)?")
 
+# A value-type sarbp::Mutex declaration: `Mutex name`, optionally mutable/
+# static, optionally followed by SARBP_ACQUIRED_* attributes and a brace
+# initializer spanning lines. References (`Mutex&`), pointers (`Mutex*`),
+# and MutexLock never match.
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:sarbp::)?Mutex\s+([A-Za-z_]\w*)\s*(?=[;{]|SARBP_|$)")
+LOCK_LEVEL_IN_DECL_RE = re.compile(r'SARBP_LOCK_LEVEL\(\s*"([^"]+)"\s*\)')
+ACQ_EDGE_RE = re.compile(r"SARBP_ACQUIRED_(BEFORE|AFTER)\(([^)]*)\)")
+MUTEX_DECL_JOIN_CAP = 8  # max lines a single declaration may span
+
 RULES = ("order-comment", "raw-mutex", "sleep-poll", "isa-ifdef",
-         "queue-result")
+         "queue-result", "lock-level")
 
 
 @dataclass
@@ -194,6 +217,87 @@ def suppressions_for(lines: list[str], idx: int) -> tuple[set[str], list[Finding
     return allowed, None
 
 
+def join_declaration(lines: list[str], idx: int) -> str:
+    """The code text of the declaration statement starting at line idx.
+
+    Mutex declarations may spread the SARBP_ACQUIRED_* attributes and the
+    SARBP_LOCK_LEVEL initializer over several lines; the join runs to the
+    terminating `;` (capped, so a runaway match cannot swallow the file).
+    """
+    parts: list[str] = []
+    for j in range(idx, min(idx + MUTEX_DECL_JOIN_CAP, len(lines))):
+        # Cut the // comment (located on string-blanked text so a // inside
+        # a literal cannot truncate) but KEEP string contents: the level
+        # name lives inside the SARBP_LOCK_LEVEL("...") literal.
+        cut = strip_strings(lines[j]).find("//")
+        code = lines[j] if cut < 0 else lines[j][:cut]
+        parts.append(code)
+        if ";" in strip_strings(code):
+            break
+    return " ".join(parts)
+
+
+def scan_lock_levels(rel: pathlib.Path, lines: list[str]) -> list[Finding]:
+    """The `lock-level` rule: leveled declarations, known names, sane edges.
+
+    Edge direction is validated only between mutexes declared in the same
+    file (the attribute argument is resolvable there); cross-module edges
+    live in lock_hierarchy.EDGES and the runtime detector.
+    """
+    findings: list[Finding] = []
+    declared: dict[str, tuple[str | None, int]] = {}  # member -> (level, line)
+    edges: list[tuple[str, str, str, int]] = []  # (member, kind, target, line)
+
+    for i, raw in enumerate(lines):
+        code = code_part(raw)
+        m = MUTEX_DECL_RE.search(code)
+        if not m:
+            continue
+        allowed, _bad = suppressions_for(lines, i)
+        stmt = join_declaration(lines, i)
+        level_m = LOCK_LEVEL_IN_DECL_RE.search(stmt)
+        level = level_m.group(1) if level_m else None
+        declared[m.group(1)] = (level, i + 1)
+        for edge_m in ACQ_EDGE_RE.finditer(stmt):
+            for target in edge_m.group(2).split(","):
+                target = target.strip()
+                if target:
+                    edges.append((m.group(1), edge_m.group(1), target, i + 1))
+        if "lock-level" in allowed:
+            continue
+        if level is None:
+            findings.append(Finding(
+                rel, i + 1, "lock-level",
+                f"Mutex `{m.group(1)}` declares no SARBP_LOCK_LEVEL; pick "
+                "its slot in tools/lock_hierarchy.py (or suppress with a "
+                "rationale for a deliberately unleveled mutex)"))
+        elif lock_hierarchy.level_index(level) < 0:
+            findings.append(Finding(
+                rel, i + 1, "lock-level",
+                f'lock level "{level}" is not in tools/lock_hierarchy.py '
+                "LEVELS; register it there first"))
+
+    for member, kind, target, line in edges:
+        self_level = declared.get(member, (None, 0))[0]
+        target_level = declared.get(target, (None, 0))[0]
+        if self_level is None or target_level is None:
+            continue  # unresolvable here; the registry covers it
+        self_rank = lock_hierarchy.level_index(self_level)
+        target_rank = lock_hierarchy.level_index(target_level)
+        if self_rank < 0 or target_rank < 0:
+            continue  # unknown level already reported above
+        ok = self_rank < target_rank if kind == "BEFORE" \
+            else self_rank > target_rank
+        if not ok:
+            findings.append(Finding(
+                rel, line, "lock-level",
+                f"SARBP_ACQUIRED_{kind}({target}) contradicts the "
+                f'registry order: "{self_level}" (rank {self_rank}) vs '
+                f'"{target_level}" (rank {target_rank}) in '
+                "tools/lock_hierarchy.py"))
+    return findings
+
+
 def scan_file(path: pathlib.Path, text: str) -> list[Finding]:
     rel = path
     in_queue_scope = ("src/service" in path.as_posix() or
@@ -204,6 +308,8 @@ def scan_file(path: pathlib.Path, text: str) -> list[Finding]:
 
     lines = text.splitlines()
     findings: list[Finding] = []
+    if in_src and not is_annotation_header:
+        findings.extend(scan_lock_levels(rel, lines))
 
     for i, raw in enumerate(lines):
         code = code_part(raw)
@@ -358,6 +464,39 @@ SELFTEST_CASES = [
      ["queue-result"]),
     ("src/streaming/s.cpp", "if (!pending_.push(chunk)) return false;\n",
      []),
+    # lock-level: every Mutex declaration in src/ names its hierarchy rank.
+    ("src/e.h", "mutable Mutex mutex_;\n", ["lock-level"]),
+    ("src/e.h",
+     'mutable Mutex mutex_{SARBP_LOCK_LEVEL("service.job")};\n',
+     []),
+    ("src/e.h",
+     'Mutex m_{SARBP_LOCK_LEVEL("no.such.level")};\n',
+     ["lock-level"]),  # level must exist in tools/lock_hierarchy.py
+    ("src/e.h",
+     "Mutex fixture_mutex_;  // lint: allow(lock-level) -- test-only lock\n",
+     []),
+    ("src/e.h",
+     'static Mutex mutex{SARBP_LOCK_LEVEL("signal.chebyshev")};\n',
+     []),
+    ("src/e.h", "MutexLock lock(mutex_);\n", []),  # a lock, not a mutex
+    ("src/e.h", "void wait(Mutex& mutex);\n", []),  # references never match
+    ("tests/e.h", "Mutex m_;\n", []),  # tests are out of scope
+    # Declarations may spread attributes/initializer over lines; edges are
+    # validated against the registry's topological order.
+    ("src/e.h",
+     "Mutex barrier_mutex_ SARBP_ACQUIRED_BEFORE(reason_mutex_){\n"
+     '    SARBP_LOCK_LEVEL("cluster.barrier")};\n'
+     "mutable Mutex reason_mutex_ SARBP_ACQUIRED_AFTER(barrier_mutex_){\n"
+     '    SARBP_LOCK_LEVEL("cluster.reason")};\n',
+     []),
+    ("src/e.h",
+     'Mutex a_ SARBP_ACQUIRED_BEFORE(b_){SARBP_LOCK_LEVEL("obs.registry")};\n'
+     'Mutex b_{SARBP_LOCK_LEVEL("service.job")};\n',
+     ["lock-level"]),  # obs.registry is innermost: the edge is backward
+    ("src/e.h",
+     'Mutex a_ SARBP_ACQUIRED_AFTER(b_){SARBP_LOCK_LEVEL("service.fair")};\n'
+     'Mutex b_{SARBP_LOCK_LEVEL("obs.registry")};\n',
+     ["lock-level"]),  # ACQUIRED_AFTER pointing at an inner level
 ]
 
 
